@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks for the substrates: tensor engine,
+// circuit representation, mini-SPICE, generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "circuit/canon.hpp"
+#include "circuit/pingraph.hpp"
+#include "circuit/validity.hpp"
+#include "data/generators.hpp"
+#include "nn/sampler.hpp"
+#include "nn/tokenizer.hpp"
+#include "nn/transformer.hpp"
+#include "spice/engine.hpp"
+#include "spice/fom.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace eva;
+
+// --- tensor ---------------------------------------------------------------
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  auto a = tensor::Tensor::randn({n, n}, rng, 1.0f, false);
+  auto b = tensor::Tensor::randn({n, n}, rng, 1.0f, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TransformerForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::ModelConfig cfg = nn::ModelConfig::bench_scale(200);
+  nn::TransformerLM model(cfg, rng);
+  std::vector<int> tokens(4 * 128, 5);
+  for (auto _ : state) {
+    auto logits = model.forward(tokens, 4, 128);
+    auto loss = tensor::mean_all(logits);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 128);
+}
+BENCHMARK(BM_TransformerForwardBackward)->Unit(benchmark::kMillisecond);
+
+void BM_KvCacheTokenThroughput(benchmark::State& state) {
+  Rng rng(3);
+  nn::ModelConfig cfg = nn::ModelConfig::bench_scale(200);
+  nn::TransformerLM model(cfg, rng);
+  std::vector<float> logits;
+  auto cache = model.make_cache();
+  int produced = 0;
+  for (auto _ : state) {
+    if (cache.len >= cfg.max_seq) cache = model.make_cache();
+    model.infer_step(cache, 5, logits);
+    ++produced;
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(produced);
+}
+BENCHMARK(BM_KvCacheTokenThroughput);
+
+// --- circuit ----------------------------------------------------------------
+
+circuit::Netlist bench_netlist() {
+  Rng rng(4);
+  return data::gen_opamp(rng);
+}
+
+void BM_EulerTourEncode(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::encode_tour(nl, rng).size());
+  }
+}
+BENCHMARK(BM_EulerTourEncode);
+
+void BM_TourDecode(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  Rng rng(6);
+  const auto tour = circuit::encode_tour(nl, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::decode_tour(tour).ok);
+  }
+}
+BENCHMARK(BM_TourDecode);
+
+void BM_CanonicalHash(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::canonical_hash(nl));
+  }
+}
+BENCHMARK(BM_CanonicalHash);
+
+void BM_ValidityCheck(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::structurally_valid(nl));
+  }
+}
+BENCHMARK(BM_ValidityCheck);
+
+// --- spice -------------------------------------------------------------------
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  const auto sz = spice::default_sizing(nl);
+  for (auto _ : state) {
+    spice::Simulator sim(nl, sz);
+    benchmark::DoNotOptimize(sim.solve_dc());
+  }
+}
+BENCHMARK(BM_DcOperatingPoint)->Unit(benchmark::kMicrosecond);
+
+void BM_AcSweep(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  const auto sz = spice::default_sizing(nl);
+  spice::Simulator sim(nl, sz);
+  if (!sim.solve_dc()) state.SkipWithError("DC failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.ac_sweep().size());
+  }
+}
+BENCHMARK(BM_AcSweep)->Unit(benchmark::kMicrosecond);
+
+void BM_FomEvaluation(benchmark::State& state) {
+  const auto nl = bench_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::evaluate_default(nl, circuit::CircuitType::OpAmp).fom);
+  }
+}
+BENCHMARK(BM_FomEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_DatasetGenerate(benchmark::State& state) {
+  Rng rng(7);
+  int i = 0;
+  for (auto _ : state) {
+    const auto type = static_cast<circuit::CircuitType>(i++ % 11);
+    benchmark::DoNotOptimize(data::generate(type, rng).num_devices());
+  }
+}
+BENCHMARK(BM_DatasetGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Behaviour-faithful reimplementations of the four prior-art baselines of
+// Table II. Each encodes the design-space restriction that drives the
+// paper's qualitative comparison (DESIGN.md §4):
+//
+//  * AnalogCoder [11]: training-free LLM synthesis from a small library of
+//    ~20 known simple topologies across 7 circuit types; generation reuses
+//    library entries (zero novelty) with an LLM-error model that corrupts
+//    a fraction of emissions (validity ~2/3).
+//  * Artisan [12]: an Op-Amp-only domain LLM fine-tuned on a large corpus
+//    of labeled Op-Amps; reuses known high-quality Op-Amp topologies with
+//    a small error rate. Versatility 1, novelty 0, strong FoM.
+//  * CktGNN [1]: sub-block DAG generation for Op-Amps trained on synthetic
+//    data; composes stage blocks into new arrangements — novel circuits,
+//    but one type only and synthetic-data graph statistics (high MMD).
+//  * LaMAGIC [13]: masked-language-model topology generation for power
+//    converters over a tiny design space (<= 4 power devices on fixed
+//    nodes); almost everything it can emit already exists (novelty ~3%).
+//
+// All baselines expose the same interface the evaluation harness consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "circuit/classify.hpp"
+#include "circuit/netlist.hpp"
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace eva::baselines {
+
+class TopologyGenerator {
+ public:
+  virtual ~TopologyGenerator() = default;
+
+  /// One generation attempt. nullopt models an emission that does not
+  /// parse into a netlist at all.
+  [[nodiscard]] virtual std::optional<circuit::Netlist> generate(Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of performance-labeled topologies the method's training
+  /// consumed for the given target (Table II's sample-efficiency column);
+  /// -1 when the method cannot target that circuit type at all (N/A).
+  [[nodiscard]] virtual int labeled_required(
+      circuit::CircuitType target) const = 0;
+
+  /// Whether the method can emit the given circuit type at all.
+  [[nodiscard]] virtual bool supports(circuit::CircuitType t) const = 0;
+};
+
+/// AnalogCoder-like: library reuse + LLM-error corruption.
+[[nodiscard]] std::unique_ptr<TopologyGenerator> make_analogcoder_like(
+    const data::Dataset& ds);
+
+/// Artisan-like: Op-Amp specialist trained on labeled Op-Amps.
+[[nodiscard]] std::unique_ptr<TopologyGenerator> make_artisan_like(
+    const data::Dataset& ds);
+
+/// CktGNN-like: sub-block DAG composer for Op-Amps.
+[[nodiscard]] std::unique_ptr<TopologyGenerator> make_cktgnn_like(
+    const data::Dataset& ds);
+
+/// LaMAGIC-like: <=4-device power-converter matrix model.
+[[nodiscard]] std::unique_ptr<TopologyGenerator> make_lamagic_like(
+    const data::Dataset& ds);
+
+}  // namespace eva::baselines

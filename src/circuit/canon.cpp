@@ -1,0 +1,89 @@
+#include "circuit/canon.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace eva::circuit {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Initial color of an IO pin / device / net node.
+std::uint64_t seed_color(std::uint64_t tag, std::uint64_t sub) {
+  return mix(mix(0x5851F42D4C957F2DULL, tag), sub);
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const Netlist& nl, int rounds) {
+  // Node space: devices [0, D), nets [D, D+N).
+  const auto D = static_cast<std::size_t>(nl.num_devices());
+  const std::size_t N = nl.nets().size();
+  const std::size_t total = D + N;
+  if (total == 0) return 0x00C0FFEE00C0FFEEULL;
+
+  // Edges: (device, net, pin-role). IO pins contribute to net seed colors.
+  struct Edge {
+    std::size_t device;
+    std::size_t net;
+    std::uint64_t role;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::uint64_t> color(total);
+
+  for (std::size_t d = 0; d < D; ++d) {
+    color[d] = seed_color(1, static_cast<std::uint64_t>(nl.devices()[d].kind));
+  }
+  for (std::size_t n = 0; n < N; ++n) {
+    // Net seed: unordered multiset of its IO pins (internal nets identical).
+    std::vector<std::uint64_t> ios;
+    for (const auto& p : nl.nets()[n]) {
+      if (p.is_io()) ios.push_back(static_cast<std::uint64_t>(p.io));
+    }
+    std::sort(ios.begin(), ios.end());
+    std::uint64_t c = seed_color(2, 0);
+    for (auto v : ios) c = mix(c, v + 17);
+    color[D + n] = c;
+
+    for (const auto& p : nl.nets()[n]) {
+      if (p.is_io()) continue;
+      const auto kind = nl.devices()[static_cast<std::size_t>(p.device)].kind;
+      const std::uint64_t role =
+          (static_cast<std::uint64_t>(kind) << 8) |
+          static_cast<std::uint64_t>(p.pin);
+      edges.push_back({static_cast<std::size_t>(p.device), D + n, role});
+    }
+  }
+
+  std::vector<std::uint64_t> next(total);
+  for (int round = 0; round < rounds; ++round) {
+    // Each node's new color = old color mixed with the sorted multiset of
+    // (neighbor color, edge role) signatures.
+    std::vector<std::vector<std::uint64_t>> sigs(total);
+    for (const auto& e : edges) {
+      sigs[e.device].push_back(mix(color[e.net], e.role));
+      sigs[e.net].push_back(mix(color[e.device], e.role + 0x1000));
+    }
+    for (std::size_t v = 0; v < total; ++v) {
+      std::sort(sigs[v].begin(), sigs[v].end());
+      std::uint64_t c = mix(color[v], 0xABCD);
+      for (auto s : sigs[v]) c = mix(c, s);
+      next[v] = c;
+    }
+    color.swap(next);
+  }
+
+  // Final hash: sorted multiset of stable colors.
+  std::sort(color.begin(), color.end());
+  std::uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (auto c : color) h = mix(h, c);
+  return h;
+}
+
+}  // namespace eva::circuit

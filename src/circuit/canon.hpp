@@ -1,0 +1,26 @@
+// Canonical topology hashing via Weisfeiler–Leman color refinement.
+//
+// Two netlists that differ only in device instance numbering or net
+// ordering must hash identically: the hash is used to deduplicate the
+// dataset and to compute the paper's Novelty metric ("percentage of
+// generated topologies different from the topologies in the dataset").
+//
+// We run WL refinement on the bipartite device/net graph with edge labels
+// carrying the pin role (gate vs drain etc.), which distinguishes e.g. a
+// diode-connected mirror transistor from a cascode even when the plain
+// adjacency structure matches.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace eva::circuit {
+
+/// Canonical hash of a topology, invariant to device renumbering and
+/// net ordering. `rounds` WL iterations (default covers typical circuit
+/// diameters; collisions are possible in principle but astronomically
+/// unlikely at dataset scale).
+[[nodiscard]] std::uint64_t canonical_hash(const Netlist& nl, int rounds = 8);
+
+}  // namespace eva::circuit

@@ -1,0 +1,284 @@
+#include "circuit/classify.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace eva::circuit {
+
+std::string_view type_name(CircuitType t) {
+  switch (t) {
+    case CircuitType::OpAmp: return "Op-Amp";
+    case CircuitType::Ldo: return "LDO";
+    case CircuitType::Bandgap: return "Bandgap";
+    case CircuitType::Comparator: return "Comparator";
+    case CircuitType::Pll: return "PLL";
+    case CircuitType::Lna: return "LNA";
+    case CircuitType::Pa: return "PA";
+    case CircuitType::Mixer: return "Mixer";
+    case CircuitType::Vco: return "VCO";
+    case CircuitType::PowerConverter: return "PowerConverter";
+    case CircuitType::ScSampler: return "SC-Sampler";
+    case CircuitType::Unknown: return "Unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_mos(DeviceKind k) {
+  return k == DeviceKind::Nmos || k == DeviceKind::Pmos;
+}
+
+/// True if net `id` contains the given IO pin.
+bool net_has_io(const Netlist& nl, int id, IoPin io) {
+  for (const auto& p : nl.nets()[static_cast<std::size_t>(id)]) {
+    if (p.is_io() && p.io == io) return true;
+  }
+  return false;
+}
+
+struct MosInfo {
+  int device = 0;
+  DeviceKind kind = DeviceKind::Nmos;
+  std::optional<int> g, d, s, b;
+};
+
+}  // namespace
+
+StructuralFeatures extract_features(const Netlist& nl) {
+  StructuralFeatures f;
+  for (const auto& d : nl.devices()) {
+    switch (d.kind) {
+      case DeviceKind::Nmos: ++f.n_nmos; break;
+      case DeviceKind::Pmos: ++f.n_pmos; break;
+      case DeviceKind::Npn:
+      case DeviceKind::Pnp: ++f.n_bjt; break;
+      case DeviceKind::Resistor: ++f.n_res; break;
+      case DeviceKind::Capacitor: ++f.n_cap; break;
+      case DeviceKind::Inductor: ++f.n_ind; break;
+      case DeviceKind::Diode: ++f.n_diode; break;
+    }
+  }
+  f.uses_clk = nl.uses_io(IoPin::Clk1) || nl.uses_io(IoPin::Clk2);
+  f.uses_iref = nl.uses_io(IoPin::Iref);
+  f.uses_vin1 = nl.uses_io(IoPin::Vin1);
+  f.uses_vin2 = nl.uses_io(IoPin::Vin2);
+  f.uses_vout = nl.uses_io(IoPin::Vout1) || nl.uses_io(IoPin::Vout2);
+
+  // Gather MOS pin nets.
+  std::vector<MosInfo> mos;
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    const Device& dev = nl.devices()[static_cast<std::size_t>(d)];
+    if (!is_mos(dev.kind)) continue;
+    MosInfo m;
+    m.device = d;
+    m.kind = dev.kind;
+    m.g = nl.net_of(dev_ref(d, mos::G));
+    m.d = nl.net_of(dev_ref(d, mos::D));
+    m.s = nl.net_of(dev_ref(d, mos::S));
+    m.b = nl.net_of(dev_ref(d, mos::B));
+    mos.push_back(m);
+  }
+
+  // Pairwise MOS structure detection.
+  for (std::size_t i = 0; i < mos.size(); ++i) {
+    const auto& a = mos[i];
+    // Clock-gated switch.
+    if (a.g && (net_has_io(nl, *a.g, IoPin::Clk1) ||
+                net_has_io(nl, *a.g, IoPin::Clk2))) {
+      f.has_clk_switch = true;
+    }
+    // Pass device: S/D spanning VDD and VOUT.
+    if (a.d && a.s) {
+      const bool sd_vdd = net_has_io(nl, *a.d, IoPin::Vdd) ||
+                          net_has_io(nl, *a.s, IoPin::Vdd);
+      const bool sd_out = net_has_io(nl, *a.d, IoPin::Vout1) ||
+                          net_has_io(nl, *a.s, IoPin::Vout1) ||
+                          net_has_io(nl, *a.d, IoPin::Vout2) ||
+                          net_has_io(nl, *a.s, IoPin::Vout2);
+      if (sd_vdd && sd_out) f.has_pass_device = true;
+    }
+    for (std::size_t j = i + 1; j < mos.size(); ++j) {
+      const auto& b = mos[j];
+      if (a.kind != b.kind) continue;
+      // Differential pair: shared source net, distinct gate nets. The
+      // common source must be a floating (tail) node — two common-source
+      // stages sharing a supply rail are not a pair.
+      const bool shared_src_is_rail =
+          a.s && (net_has_io(nl, *a.s, IoPin::Vss) ||
+                  net_has_io(nl, *a.s, IoPin::Vdd));
+      if (a.s && b.s && *a.s == *b.s && !shared_src_is_rail && a.g && b.g &&
+          *a.g != *b.g) {
+        f.has_diff_pair = true;
+        const bool in1 = net_has_io(nl, *a.g, IoPin::Vin1) ||
+                         net_has_io(nl, *b.g, IoPin::Vin1);
+        const bool in2 = net_has_io(nl, *a.g, IoPin::Vin2) ||
+                         net_has_io(nl, *b.g, IoPin::Vin2);
+        if (in1 && in2) f.diff_pair_on_inputs = true;
+        // Tail: some other MOS drain on the shared source net.
+        for (const auto& c : mos) {
+          if (c.device == a.device || c.device == b.device) continue;
+          if (c.d && *c.d == *a.s) f.has_tail_source = true;
+        }
+      }
+      // Current mirror: shared gate net, one of them diode-connected.
+      if (a.g && b.g && *a.g == *b.g) {
+        const bool diode_a = a.d && *a.d == *a.g;
+        const bool diode_b = b.d && *b.d == *b.g;
+        if (diode_a || diode_b) f.has_current_mirror = true;
+      }
+      // Cross-coupled pair: gate of each on drain net of the other.
+      if (a.g && b.g && a.d && b.d && *a.g == *b.d && *b.g == *a.d &&
+          *a.d != *b.d) {
+        f.has_cross_coupled = true;
+      }
+    }
+  }
+
+  // Inverters: NMOS+PMOS sharing gate net and drain net, sources on rails.
+  struct Inv {
+    int in_net;
+    int out_net;
+  };
+  std::vector<Inv> inverters;
+  for (const auto& a : mos) {
+    if (a.kind != DeviceKind::Nmos) continue;
+    if (!(a.s && net_has_io(nl, *a.s, IoPin::Vss))) continue;
+    for (const auto& b : mos) {
+      if (b.kind != DeviceKind::Pmos) continue;
+      if (!(b.s && net_has_io(nl, *b.s, IoPin::Vdd))) continue;
+      if (a.g && b.g && *a.g == *b.g && a.d && b.d && *a.d == *b.d) {
+        inverters.push_back({*a.g, *a.d});
+      }
+    }
+  }
+  f.n_inverter_stages = static_cast<int>(inverters.size());
+  // Ring: follow out->in links; a cycle of length >= 3 marks a ring osc.
+  if (inverters.size() >= 3) {
+    for (std::size_t start = 0; start < inverters.size() && !f.inverter_ring;
+         ++start) {
+      int net = inverters[start].out_net;
+      std::set<std::size_t> seen{start};
+      for (int hop = 0; hop < static_cast<int>(inverters.size()); ++hop) {
+        bool moved = false;
+        for (std::size_t k = 0; k < inverters.size(); ++k) {
+          if (inverters[k].in_net == net) {
+            if (k == start && seen.size() >= 3) {
+              f.inverter_ring = true;
+            }
+            if (seen.count(k)) break;
+            seen.insert(k);
+            net = inverters[k].out_net;
+            moved = true;
+            break;
+          }
+        }
+        if (!moved || f.inverter_ring) break;
+      }
+    }
+  }
+
+  // Inductor to output; cap from output to a rail.
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    const Device& dev = nl.devices()[static_cast<std::size_t>(d)];
+    const auto np = nl.net_of(dev_ref(d, two::P));
+    const auto nn = nl.net_of(dev_ref(d, two::N));
+    if (!np || !nn) continue;
+    auto on_out = [&](int id) {
+      return net_has_io(nl, id, IoPin::Vout1) ||
+             net_has_io(nl, id, IoPin::Vout2);
+    };
+    auto on_rail = [&](int id) {
+      return net_has_io(nl, id, IoPin::Vss) || net_has_io(nl, id, IoPin::Vdd);
+    };
+    if (dev.kind == DeviceKind::Inductor && (on_out(*np) || on_out(*nn))) {
+      f.has_series_ind_to_out = true;
+    }
+    if (dev.kind == DeviceKind::Capacitor &&
+        ((on_out(*np) && on_rail(*nn)) || (on_out(*nn) && on_rail(*np)))) {
+      f.output_has_cap_to_rail = true;
+    }
+  }
+
+  return f;
+}
+
+CircuitType classify(const Netlist& nl) { return classify(extract_features(nl)); }
+
+CircuitType classify(const StructuralFeatures& f) {
+  const int n_mos = f.n_nmos + f.n_pmos;
+
+  // Power converter: inductor in the power path with a switching device
+  // or rectifier plus an output filter cap. (RF amps never carry clocked
+  // switches or diodes, so this stays disjoint from LNA/PA.)
+  if (f.n_ind >= 1 && (f.n_diode >= 1 || f.has_clk_switch) &&
+      f.output_has_cap_to_rail && !f.has_diff_pair) {
+    return CircuitType::PowerConverter;
+  }
+
+  // Switched-capacitor sampler: clocked switches + caps, no amplifier core
+  // and no oscillator (a ring would indicate a PLL).
+  if (f.has_clk_switch && f.n_cap >= 1 && f.n_ind == 0 && !f.has_diff_pair &&
+      f.n_diode == 0 && !f.inverter_ring) {
+    return CircuitType::ScSampler;
+  }
+
+  // PLL: ring oscillator plus loop filter (R and C) and a clock reference.
+  if (f.inverter_ring && f.n_res >= 1 && f.n_cap >= 1 && f.uses_clk) {
+    return CircuitType::Pll;
+  }
+
+  // VCO: cross-coupled pair with a tank, or a free-running inverter ring.
+  // Clocked circuits (comparators' latch loads) are excluded.
+  if (f.has_cross_coupled && (f.n_ind >= 1 || f.n_cap >= 1) && !f.uses_clk) {
+    return CircuitType::Vco;
+  }
+  if (f.inverter_ring && !f.uses_clk) {
+    return CircuitType::Vco;
+  }
+
+  // Comparator: clocked diff pair (latch) — diff pair + clock switch.
+  if (f.has_diff_pair && f.has_clk_switch) {
+    return CircuitType::Comparator;
+  }
+
+  // Bandgap: bipolars/diodes with resistors and a mirror, no signal input.
+  if ((f.n_bjt >= 2 || f.n_diode >= 2) && f.n_res >= 1 &&
+      f.has_current_mirror && !f.uses_vin1) {
+    return CircuitType::Bandgap;
+  }
+
+  // Mixer: stacked differential structure with both inputs (RF + LO).
+  if (f.has_diff_pair && f.uses_vin1 && f.uses_vin2 &&
+      !f.diff_pair_on_inputs) {
+    return CircuitType::Mixer;
+  }
+
+  // RF amps: inductive matching/loads, single-ended input, no diff pair.
+  if (f.n_ind >= 1 && f.uses_vin1 && !f.has_diff_pair && n_mos >= 1) {
+    // PA: big drive (multiple parallel output devices) or explicit series
+    // inductor to the output; LNA otherwise.
+    if (f.has_series_ind_to_out && n_mos >= 2) return CircuitType::Pa;
+    return CircuitType::Lna;
+  }
+
+  // LDO: pass device + error amplifier whose inputs sit on the reference
+  // and the feedback divider (not on the signal inputs — that would be a
+  // two-stage Op-Amp driving a load).
+  if (f.has_pass_device && f.has_diff_pair && f.n_res >= 2 &&
+      !f.diff_pair_on_inputs) {
+    return CircuitType::Ldo;
+  }
+
+  // Op-Amp: differential input pair on VIN1/VIN2, no clocks, no inductors.
+  if (f.has_diff_pair && f.diff_pair_on_inputs && !f.uses_clk &&
+      f.n_ind == 0 && f.uses_vout) {
+    return CircuitType::OpAmp;
+  }
+
+  return CircuitType::Unknown;
+}
+
+}  // namespace eva::circuit

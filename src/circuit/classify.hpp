@@ -1,0 +1,64 @@
+// Circuit taxonomy and rule-based type classification.
+//
+// The paper's dataset spans 11 analog circuit types (§IV-A). The reward
+// model needs a *relevance* oracle ("is this an Op-Amp?") and the
+// Versatility metric counts distinct generated types. In the paper this
+// labeling comes from human experts; here a structural rule-based
+// classifier plays that role (substitution documented in DESIGN.md §4).
+#pragma once
+
+#include <string_view>
+
+#include "circuit/netlist.hpp"
+
+namespace eva::circuit {
+
+/// The paper's 11 circuit types plus Unknown for unclassifiable topologies.
+enum class CircuitType : std::uint8_t {
+  OpAmp,
+  Ldo,
+  Bandgap,
+  Comparator,
+  Pll,
+  Lna,
+  Pa,
+  Mixer,
+  Vco,
+  PowerConverter,
+  ScSampler,
+  Unknown,
+};
+
+inline constexpr int kNumCircuitTypes = 11;  // excludes Unknown
+
+[[nodiscard]] std::string_view type_name(CircuitType t);
+
+/// Structural features extracted from a netlist; the classifier's input
+/// and also useful for dataset inspection and graph statistics.
+struct StructuralFeatures {
+  int n_nmos = 0, n_pmos = 0, n_bjt = 0;
+  int n_res = 0, n_cap = 0, n_ind = 0, n_diode = 0;
+  bool has_diff_pair = false;          // matched pair, common source net
+  bool diff_pair_on_inputs = false;    // its gates reach VIN1/VIN2
+  bool has_current_mirror = false;     // shared-gate pair, one diode-connected
+  bool has_tail_source = false;        // diff-pair source fed by a device
+  bool has_cross_coupled = false;      // gate_i on drain_j and vice versa
+  bool has_clk_switch = false;         // MOS gate tied to CLK1/CLK2
+  bool has_pass_device = false;        // MOS with S/D spanning VDD->VOUT
+  bool has_series_ind_to_out = false;  // inductor with one end on an output
+  bool uses_clk = false;
+  bool uses_iref = false;
+  bool uses_vin1 = false, uses_vin2 = false;
+  bool uses_vout = false;
+  bool output_has_cap_to_rail = false;  // load/filter cap on output
+  int n_inverter_stages = 0;            // CMOS inverter count (ring VCO/PLL)
+  bool inverter_ring = false;           // inverters chained in a cycle
+};
+
+[[nodiscard]] StructuralFeatures extract_features(const Netlist& nl);
+
+/// Rule-based classification into one of the 11 types (or Unknown).
+[[nodiscard]] CircuitType classify(const Netlist& nl);
+[[nodiscard]] CircuitType classify(const StructuralFeatures& f);
+
+}  // namespace eva::circuit

@@ -1,0 +1,162 @@
+// Device and circuit-level pin vocabulary.
+//
+// EVA's sequence representation is built from *device pins* (paper §III-A):
+// every token names either one pin of one device instance (NM1_G, R2_P, ...)
+// or a circuit-level IO pin (VSS, VDD, VIN1, ...). This header defines that
+// alphabet: device kinds, their pin counts and pin-name suffixes, and the
+// fixed circuit-level IO pin set.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace eva::circuit {
+
+/// Device kinds supported by the topology representation, the dataset
+/// generators, and the mini-SPICE simulator.
+enum class DeviceKind : std::uint8_t {
+  Nmos,       // 4 pins: G D S B
+  Pmos,       // 4 pins: G D S B
+  Npn,        // 3 pins: C B E
+  Pnp,        // 3 pins: C B E
+  Resistor,   // 2 pins: P N
+  Capacitor,  // 2 pins: P N
+  Inductor,   // 2 pins: P N
+  Diode,      // 2 pins: A K
+};
+
+inline constexpr int kNumDeviceKinds = 8;
+
+/// Circuit-level IO pins (the non-device tokens in the vocabulary).
+enum class IoPin : std::uint8_t {
+  Vss,   // the Euler-tour start token (paper: generation starts from VSS)
+  Vdd,
+  Vin1,
+  Vin2,
+  Vout1,
+  Vout2,
+  Vb1,   // bias voltages
+  Vb2,
+  Clk1,  // clock phases (comparators, SC circuits)
+  Clk2,
+  Iref,  // reference current input
+};
+
+inline constexpr int kNumIoPins = 11;
+
+[[nodiscard]] constexpr int pin_count(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::Nmos:
+    case DeviceKind::Pmos:
+      return 4;
+    case DeviceKind::Npn:
+    case DeviceKind::Pnp:
+      return 3;
+    case DeviceKind::Resistor:
+    case DeviceKind::Capacitor:
+    case DeviceKind::Inductor:
+    case DeviceKind::Diode:
+      return 2;
+  }
+  return 0;
+}
+
+/// Netlist-name prefix per kind ("NM", "PM", "R", ...).
+[[nodiscard]] constexpr std::string_view kind_prefix(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::Nmos: return "NM";
+    case DeviceKind::Pmos: return "PM";
+    case DeviceKind::Npn: return "QN";
+    case DeviceKind::Pnp: return "QP";
+    case DeviceKind::Resistor: return "R";
+    case DeviceKind::Capacitor: return "C";
+    case DeviceKind::Inductor: return "L";
+    case DeviceKind::Diode: return "D";
+  }
+  return "?";
+}
+
+/// Pin-name suffix for pin index `pin` of kind `k` ("G","D","S","B", ...).
+[[nodiscard]] constexpr std::string_view pin_suffix(DeviceKind k, int pin) {
+  constexpr std::array<std::string_view, 4> mos{"G", "D", "S", "B"};
+  constexpr std::array<std::string_view, 3> bjt{"C", "B", "E"};
+  constexpr std::array<std::string_view, 2> two{"P", "N"};
+  constexpr std::array<std::string_view, 2> dio{"A", "K"};
+  switch (k) {
+    case DeviceKind::Nmos:
+    case DeviceKind::Pmos:
+      return mos[static_cast<std::size_t>(pin)];
+    case DeviceKind::Npn:
+    case DeviceKind::Pnp:
+      return bjt[static_cast<std::size_t>(pin)];
+    case DeviceKind::Diode:
+      return dio[static_cast<std::size_t>(pin)];
+    default:
+      return two[static_cast<std::size_t>(pin)];
+  }
+}
+
+// Named pin indices for readability in generators and the simulator.
+namespace mos {
+inline constexpr int G = 0, D = 1, S = 2, B = 3;
+}
+namespace bjt {
+inline constexpr int C = 0, B = 1, E = 2;
+}
+namespace two {
+inline constexpr int P = 0, N = 1;
+}
+namespace dio {
+inline constexpr int A = 0, K = 1;
+}
+
+[[nodiscard]] constexpr std::string_view io_name(IoPin p) {
+  switch (p) {
+    case IoPin::Vss: return "VSS";
+    case IoPin::Vdd: return "VDD";
+    case IoPin::Vin1: return "VIN1";
+    case IoPin::Vin2: return "VIN2";
+    case IoPin::Vout1: return "VOUT1";
+    case IoPin::Vout2: return "VOUT2";
+    case IoPin::Vb1: return "VB1";
+    case IoPin::Vb2: return "VB2";
+    case IoPin::Clk1: return "CLK1";
+    case IoPin::Clk2: return "CLK2";
+    case IoPin::Iref: return "IREF";
+  }
+  return "?";
+}
+
+/// One endpoint of a connection: either pin `pin` of device `device`
+/// (device >= 0), or the circuit-level IO pin `io` (device == -1).
+struct PinRef {
+  int device = -1;
+  int pin = 0;            // device-pin index; ignored for IO refs
+  IoPin io = IoPin::Vss;  // IO pin; ignored for device refs
+
+  [[nodiscard]] bool is_io() const { return device < 0; }
+
+  friend bool operator==(const PinRef& a, const PinRef& b) {
+    if (a.is_io() != b.is_io()) return false;
+    if (a.is_io()) return a.io == b.io;
+    return a.device == b.device && a.pin == b.pin;
+  }
+  friend std::strong_ordering operator<=>(const PinRef& a, const PinRef& b) {
+    if (auto c = a.device <=> b.device; c != 0) return c;
+    if (a.is_io()) return a.io <=> b.io;
+    return a.pin <=> b.pin;
+  }
+};
+
+[[nodiscard]] inline PinRef io_ref(IoPin p) { return PinRef{-1, 0, p}; }
+[[nodiscard]] inline PinRef dev_ref(int device, int pin) {
+  EVA_ASSERT(device >= 0 && pin >= 0, "bad device pin ref");
+  return PinRef{device, pin, IoPin::Vss};
+}
+
+}  // namespace eva::circuit

@@ -1,0 +1,72 @@
+#include "circuit/graphstats.hpp"
+
+#include <algorithm>
+
+#include "circuit/pingraph.hpp"
+
+namespace eva::circuit {
+
+GraphStats graph_stats(const Netlist& nl) {
+  GraphStats s;
+  constexpr std::size_t kDegBins = 12;
+  constexpr std::size_t kNetBins = 8;
+  s.degree_hist.assign(kDegBins, 0.0);
+  s.netsize_hist.assign(kNetBins, 0.0);
+  s.kind_hist.assign(static_cast<std::size_t>(kNumDeviceKinds), 0.0);
+
+  const PinGraph g = PinGraph::from_netlist(nl);
+  const std::size_t nv = g.vertices().size();
+  double deg_sum = 0.0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const std::size_t d = g.degree(v);
+    deg_sum += static_cast<double>(d);
+    const std::size_t bin = std::min(d == 0 ? 0 : d - 1, kDegBins - 1);
+    s.degree_hist[bin] += 1.0;
+  }
+  if (nv > 0) {
+    for (auto& x : s.degree_hist) x /= static_cast<double>(nv);
+    s.avg_degree = deg_sum / static_cast<double>(nv);
+  }
+
+  std::size_t n_nets = 0;
+  for (const auto& net : nl.nets()) {
+    if (net.size() < 2) continue;
+    ++n_nets;
+    const std::size_t bin = std::min(net.size() - 2, kNetBins - 1);
+    s.netsize_hist[bin] += 1.0;
+  }
+  if (n_nets > 0) {
+    for (auto& x : s.netsize_hist) x /= static_cast<double>(n_nets);
+  }
+
+  for (const auto& d : nl.devices()) {
+    s.kind_hist[static_cast<std::size_t>(d.kind)] += 1.0;
+  }
+  if (!nl.devices().empty()) {
+    for (auto& x : s.kind_hist) x /= static_cast<double>(nl.devices().size());
+  }
+
+  s.device_count = static_cast<double>(nl.num_devices());
+  s.net_count = static_cast<double>(n_nets);
+  return s;
+}
+
+std::vector<double> stats_vector(const GraphStats& s) {
+  std::vector<double> v;
+  v.reserve(s.degree_hist.size() + s.netsize_hist.size() +
+            s.kind_hist.size() + 3);
+  v.insert(v.end(), s.degree_hist.begin(), s.degree_hist.end());
+  v.insert(v.end(), s.netsize_hist.begin(), s.netsize_hist.end());
+  v.insert(v.end(), s.kind_hist.begin(), s.kind_hist.end());
+  // Scale scalar summaries so no single coordinate dominates the kernel.
+  v.push_back(s.avg_degree / 8.0);
+  v.push_back(s.device_count / 40.0);
+  v.push_back(s.net_count / 40.0);
+  return v;
+}
+
+std::vector<double> stats_vector(const Netlist& nl) {
+  return stats_vector(graph_stats(nl));
+}
+
+}  // namespace eva::circuit

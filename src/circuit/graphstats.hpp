@@ -1,0 +1,32 @@
+// Graph statistics used by the MMD novelty metric (paper §IV-A: generated
+// topologies are converted to graphs and compared to the real-world set
+// with maximum mean discrepancy). Following the GraphRNN/CktGNN evaluation
+// convention, MMD is computed over distributions of local graph statistics;
+// we expose the per-circuit statistic vectors here and the kernel/MMD
+// computation lives in src/eval.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace eva::circuit {
+
+/// Per-topology statistic histograms.
+struct GraphStats {
+  std::vector<double> degree_hist;    // pin-graph vertex degrees, bins 1..12+
+  std::vector<double> netsize_hist;   // net sizes, bins 2..9+
+  std::vector<double> kind_hist;      // device-kind mix (8 bins, normalized)
+  double avg_degree = 0.0;
+  double device_count = 0.0;
+  double net_count = 0.0;
+};
+
+[[nodiscard]] GraphStats graph_stats(const Netlist& nl);
+
+/// Flattened fixed-length feature vector (concatenated histograms plus the
+/// scalar summaries, scaled to comparable magnitudes).
+[[nodiscard]] std::vector<double> stats_vector(const GraphStats& s);
+[[nodiscard]] std::vector<double> stats_vector(const Netlist& nl);
+
+}  // namespace eva::circuit

@@ -1,0 +1,122 @@
+#include "circuit/validity.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace eva::circuit {
+
+namespace {
+
+/// Union-find over net ids through shared devices: two nets are in the
+/// same electrical component if some device has pins on both.
+std::vector<int> net_components(const Netlist& nl) {
+  const auto n = nl.nets().size();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    int first_net = -1;
+    const auto kind = nl.devices()[static_cast<std::size_t>(d)].kind;
+    for (int p = 0; p < pin_count(kind); ++p) {
+      if (auto id = nl.net_of(dev_ref(d, p))) {
+        if (first_net < 0) {
+          first_net = *id;
+        } else {
+          unite(static_cast<std::size_t>(first_net),
+                static_cast<std::size_t>(*id));
+        }
+      }
+    }
+  }
+  std::vector<int> comp(n);
+  for (std::size_t i = 0; i < n; ++i) comp[i] = static_cast<int>(find(i));
+  return comp;
+}
+
+}  // namespace
+
+ValidityReport check_structure(const Netlist& nl) {
+  ValidityReport rep;
+
+  if (nl.num_devices() == 0) {
+    rep.fail("no devices");
+    return rep;
+  }
+  if (!nl.uses_io(IoPin::Vss)) rep.fail("VSS not connected");
+  if (!nl.uses_io(IoPin::Vdd)) rep.fail("VDD not connected");
+  if (!nl.uses_io(IoPin::Vout1) && !nl.uses_io(IoPin::Vout2)) {
+    rep.fail("no output pin connected");
+  }
+
+  // Supply short: one net containing both rails.
+  for (const auto& net : nl.nets()) {
+    bool has_vss = false;
+    bool has_vdd = false;
+    for (const auto& p : net) {
+      if (p.is_io() && p.io == IoPin::Vss) has_vss = true;
+      if (p.is_io() && p.io == IoPin::Vdd) has_vdd = true;
+    }
+    if (has_vss && has_vdd) {
+      rep.fail("net shorts VDD to VSS");
+      break;
+    }
+  }
+
+  // Floating pins and fully-shorted devices.
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    const Device& dev = nl.devices()[static_cast<std::size_t>(d)];
+    std::set<int> nets_touched;
+    bool floating = false;
+    for (int p = 0; p < pin_count(dev.kind); ++p) {
+      const auto id = nl.net_of(dev_ref(d, p));
+      if (!id) {
+        floating = true;
+      } else {
+        nets_touched.insert(*id);
+      }
+    }
+    if (floating) {
+      rep.fail("floating pin on " + std::string{kind_prefix(dev.kind)} +
+               std::to_string(dev.index));
+    }
+    if (!floating && nets_touched.size() == 1) {
+      rep.fail("all pins of " + std::string{kind_prefix(dev.kind)} +
+               std::to_string(dev.index) + " shorted together");
+    }
+  }
+
+  // Single-pin nets are dangling connections.
+  for (const auto& net : nl.nets()) {
+    if (net.size() < 2) {
+      rep.fail("degenerate single-pin net");
+      break;
+    }
+  }
+
+  // Connectivity: all nets must belong to one electrical component.
+  if (!nl.nets().empty()) {
+    const auto comp = net_components(nl);
+    const int root = comp[0];
+    if (!std::all_of(comp.begin(), comp.end(),
+                     [root](int c) { return c == root; })) {
+      rep.fail("circuit is electrically disconnected");
+    }
+  }
+
+  return rep;
+}
+
+bool structurally_valid(const Netlist& nl) {
+  return check_structure(nl).valid;
+}
+
+}  // namespace eva::circuit

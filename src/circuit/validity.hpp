@@ -1,0 +1,46 @@
+// Structural validity checking.
+//
+// The paper defines a valid topology as "simulatable in SPICE without
+// errors (e.g., floating or shorting nodes)" with default sizing (§IV-A).
+// This module implements the structural half of that rule (the numerical
+// half — a solvable DC operating point — lives in src/spice, and the
+// combined check is spice::simulatable). The reward model's rule-based
+// checker (§III-C1) uses the same predicate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace eva::circuit {
+
+/// Outcome of a structural validity check with human-readable reasons.
+struct ValidityReport {
+  bool valid = true;
+  std::vector<std::string> reasons;
+
+  void fail(std::string reason) {
+    valid = false;
+    reasons.push_back(std::move(reason));
+  }
+};
+
+/// Run all structural checks on a netlist:
+///  1. at least one device,
+///  2. VSS present and VDD present (supply rails),
+///  3. no net shorting VDD to VSS,
+///  4. at least one output pin (VOUT1/VOUT2) connected,
+///  5. no floating device pins (every pin belongs to a >= 2-pin net),
+///  6. the circuit graph is connected (every device reachable from VSS
+///     through nets),
+///  7. no device with all pins tied to one net (fully shorted device),
+///  8. MOS/BJT control sanity: a transistor's gate/base must not be tied
+///     only to its own drain+source+bulk net in isolation from the rest
+///     (covered by 6/7), and bulk pins must connect somewhere.
+[[nodiscard]] ValidityReport check_structure(const Netlist& nl);
+
+/// Convenience: full structural validity as a bool.
+[[nodiscard]] bool structurally_valid(const Netlist& nl);
+
+}  // namespace eva::circuit

@@ -1,0 +1,76 @@
+#include "data/builder.hpp"
+
+namespace eva::data {
+
+using circuit::DeviceKind;
+using circuit::IoPin;
+
+int NetBuilder::net(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const int id = nl_.add_net({});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void NetBuilder::io(const std::string& name, IoPin pin) {
+  const int id = net(name);
+  if (const auto existing = nl_.net_of(circuit::io_ref(pin))) {
+    // The IO pin is one physical node: a second binding means `name` and
+    // the earlier net are the same electrical net. Merge and re-alias.
+    if (*existing == id) return;
+    nl_.merge_nets(*existing, id);
+    for (auto& [n, nid] : by_name_) {
+      if (nid == id) nid = *existing;
+    }
+    return;
+  }
+  nl_.connect(id, circuit::io_ref(pin));
+}
+
+void NetBuilder::rails() {
+  io("VSS", IoPin::Vss);
+  io("VDD", IoPin::Vdd);
+}
+
+int NetBuilder::mos(DeviceKind kind, const std::string& g,
+                    const std::string& d, const std::string& s,
+                    const std::string& b) {
+  EVA_ASSERT(kind == DeviceKind::Nmos || kind == DeviceKind::Pmos,
+             "mos() requires a MOS kind");
+  const int dev = nl_.add_device(kind);
+  const std::string bulk =
+      b.empty() ? (kind == DeviceKind::Nmos ? "VSS" : "VDD") : b;
+  nl_.connect(net(g), circuit::dev_ref(dev, circuit::mos::G));
+  nl_.connect(net(d), circuit::dev_ref(dev, circuit::mos::D));
+  nl_.connect(net(s), circuit::dev_ref(dev, circuit::mos::S));
+  nl_.connect(net(bulk), circuit::dev_ref(dev, circuit::mos::B));
+  return dev;
+}
+
+int NetBuilder::bjt(DeviceKind kind, const std::string& c,
+                    const std::string& b, const std::string& e) {
+  EVA_ASSERT(kind == DeviceKind::Npn || kind == DeviceKind::Pnp,
+             "bjt() requires a BJT kind");
+  const int dev = nl_.add_device(kind);
+  nl_.connect(net(c), circuit::dev_ref(dev, circuit::bjt::C));
+  nl_.connect(net(b), circuit::dev_ref(dev, circuit::bjt::B));
+  nl_.connect(net(e), circuit::dev_ref(dev, circuit::bjt::E));
+  return dev;
+}
+
+int NetBuilder::two(DeviceKind kind, const std::string& p,
+                    const std::string& n) {
+  EVA_ASSERT(pin_count(kind) == 2, "two() requires a 2-pin kind");
+  const int dev = nl_.add_device(kind);
+  nl_.connect(net(p), circuit::dev_ref(dev, 0));
+  nl_.connect(net(n), circuit::dev_ref(dev, 1));
+  return dev;
+}
+
+circuit::Netlist NetBuilder::take() {
+  nl_.prune_degenerate_nets();
+  return std::move(nl_);
+}
+
+}  // namespace eva::data

@@ -1,0 +1,53 @@
+// Named-net netlist builder used by the topology generators.
+//
+// Generators describe circuits the way a designer would — "gate of M1 on
+// net 'inp', drain on 'out1'" — and the builder handles net creation and
+// pin bookkeeping.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace eva::data {
+
+class NetBuilder {
+ public:
+  NetBuilder() = default;
+
+  /// Net id for `name`, creating an empty net on first use.
+  int net(const std::string& name);
+
+  /// Attach an IO pin to a named net.
+  void io(const std::string& name, circuit::IoPin pin);
+
+  /// Add a MOS with its four pins on the given nets. Bulk defaults to the
+  /// matching rail when empty ("" -> VSS net for NMOS, VDD net for PMOS,
+  /// which must exist as nets named "VSS"/"VDD").
+  int mos(circuit::DeviceKind kind, const std::string& g,
+          const std::string& d, const std::string& s,
+          const std::string& b = "");
+
+  /// Add a BJT (Npn/Pnp) with C/B/E on the given nets.
+  int bjt(circuit::DeviceKind kind, const std::string& c,
+          const std::string& b, const std::string& e);
+
+  /// Add a two-pin device (R/C/L/Diode) between two nets (P/A first).
+  int two(circuit::DeviceKind kind, const std::string& p,
+          const std::string& n);
+
+  /// Standard rails: creates nets "VSS"/"VDD" bound to the supply pins.
+  void rails();
+
+  /// Finish: drops empty nets and returns the netlist.
+  [[nodiscard]] circuit::Netlist take();
+
+  [[nodiscard]] circuit::Netlist& netlist() { return nl_; }
+
+ private:
+  circuit::Netlist nl_;
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace eva::data

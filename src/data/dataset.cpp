@@ -1,0 +1,83 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+
+#include "circuit/canon.hpp"
+#include "circuit/validity.hpp"
+#include "data/generators.hpp"
+#include "data/mutate.hpp"
+#include "spice/engine.hpp"
+
+namespace eva::data {
+
+using circuit::CircuitType;
+
+namespace {
+constexpr CircuitType kAllTypes[] = {
+    CircuitType::OpAmp,     CircuitType::Ldo,
+    CircuitType::Bandgap,   CircuitType::Comparator,
+    CircuitType::Pll,       CircuitType::Lna,
+    CircuitType::Pa,        CircuitType::Mixer,
+    CircuitType::Vco,       CircuitType::PowerConverter,
+    CircuitType::ScSampler,
+};
+}  // namespace
+
+Dataset Dataset::build(const DatasetConfig& cfg) {
+  EVA_REQUIRE(cfg.per_type > 0, "per_type must be positive");
+  Dataset ds;
+  Rng rng(cfg.seed);
+
+  for (const CircuitType type : kAllTypes) {
+    int found = 0;
+    const int max_attempts = cfg.per_type * cfg.max_attempts_factor;
+    for (int attempt = 0; attempt < max_attempts && found < cfg.per_type;
+         ++attempt) {
+      circuit::Netlist nl = generate(type, rng);
+      const int n_mut = cfg.max_mutations > 0
+                            ? rng.range(0, cfg.max_mutations)
+                            : 0;
+      for (int m = 0; m < n_mut; ++m) mutate(nl, rng);
+
+      if (!circuit::structurally_valid(nl)) continue;
+      if (circuit::classify(nl) != type) continue;
+      const std::uint64_t h = circuit::canonical_hash(nl);
+      if (ds.hashes_.count(h)) continue;
+      if (cfg.require_simulatable && !spice::simulatable(nl)) continue;
+
+      ds.hashes_.insert(h);
+      ds.entries_.push_back(TopologyEntry{std::move(nl), type, h});
+      ++found;
+    }
+    EVA_REQUIRE(found >= std::min(cfg.per_type, 5),
+                std::string("dataset generator starved for type ") +
+                    std::string{circuit::type_name(type)});
+  }
+  return ds;
+}
+
+std::vector<const TopologyEntry*> Dataset::of_type(CircuitType t) const {
+  std::vector<const TopologyEntry*> out;
+  for (const auto& e : entries_) {
+    if (e.type == t) out.push_back(&e);
+  }
+  return out;
+}
+
+Dataset::Split Dataset::split(double train_fraction,
+                              std::uint64_t seed) const {
+  EVA_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+              "train_fraction must be in (0,1)");
+  std::vector<std::size_t> idx(entries_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(idx.size()));
+  Split s;
+  s.train.assign(idx.begin(), idx.begin() + static_cast<long>(cut));
+  s.val.assign(idx.begin() + static_cast<long>(cut), idx.end());
+  return s;
+}
+
+}  // namespace eva::data

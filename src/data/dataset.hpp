@@ -1,0 +1,63 @@
+// Topology dataset assembly (paper §IV-A "Datasets").
+//
+// Builds the pretraining corpus: unique (by canonical hash), structurally
+// valid, simulatable topologies across all 11 circuit types. Stands in
+// for the paper's 3470 textbook topologies; the per-type count and the
+// mutation budget are knobs, so the corpus scales from test-size to
+// paper-scale.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "circuit/classify.hpp"
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace eva::data {
+
+struct TopologyEntry {
+  circuit::Netlist netlist;
+  circuit::CircuitType type = circuit::CircuitType::Unknown;
+  std::uint64_t hash = 0;
+};
+
+struct DatasetConfig {
+  int per_type = 40;        // unique topologies per circuit type
+  int max_mutations = 3;    // mutation budget per sample
+  std::uint64_t seed = 42;
+  bool require_simulatable = true;  // DC-converges with default sizing
+  int max_attempts_factor = 60;     // attempts per requested topology
+};
+
+class Dataset {
+ public:
+  /// Generate the corpus. Throws eva::Error if some type cannot reach at
+  /// least a handful of unique topologies (indicates a generator bug).
+  [[nodiscard]] static Dataset build(const DatasetConfig& cfg);
+
+  [[nodiscard]] const std::vector<TopologyEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool contains_hash(std::uint64_t h) const {
+    return hashes_.count(h) > 0;
+  }
+  [[nodiscard]] std::vector<const TopologyEntry*> of_type(
+      circuit::CircuitType t) const;
+
+  /// Deterministic 9:1 train/validation split of entry indices
+  /// (paper §IV-A: validation topologies unseen during training).
+  struct Split {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> val;
+  };
+  [[nodiscard]] Split split(double train_fraction = 0.9,
+                            std::uint64_t seed = 7) const;
+
+ private:
+  std::vector<TopologyEntry> entries_;
+  std::unordered_set<std::uint64_t> hashes_;
+};
+
+}  // namespace eva::data

@@ -1,0 +1,33 @@
+// Parametric topology generators for the 11 circuit types of the paper's
+// dataset (§IV-A): Op-Amps, LDOs, Bandgap references, Comparators, PLLs,
+// LNAs, PAs, Mixers, VCOs, Power converters, Switched-capacitor samplers.
+//
+// Each generator draws structural variants (input polarity, load style,
+// cascoding, extra stages, ...) from its Rng, so repeated calls yield many
+// distinct-but-realistic topologies of the same family. Together with the
+// validity-preserving mutations in data/mutate.hpp this is the substitute
+// for the paper's 3470 textbook topologies (DESIGN.md §4).
+#pragma once
+
+#include "circuit/classify.hpp"
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace eva::data {
+
+[[nodiscard]] circuit::Netlist gen_opamp(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_ldo(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_bandgap(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_comparator(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_pll(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_lna(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_pa(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_mixer(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_vco(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_power_converter(Rng& rng);
+[[nodiscard]] circuit::Netlist gen_sc_sampler(Rng& rng);
+
+/// Dispatch by type. Throws eva::Error for CircuitType::Unknown.
+[[nodiscard]] circuit::Netlist generate(circuit::CircuitType type, Rng& rng);
+
+}  // namespace eva::data

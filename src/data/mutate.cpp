@@ -1,0 +1,152 @@
+#include "data/mutate.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace eva::data {
+
+using circuit::DeviceKind;
+using circuit::IoPin;
+using circuit::Netlist;
+using circuit::PinRef;
+
+namespace {
+
+bool is_mos(DeviceKind k) {
+  return k == DeviceKind::Nmos || k == DeviceKind::Pmos;
+}
+
+std::optional<int> net_with_io(const Netlist& nl, IoPin io) {
+  for (std::size_t i = 0; i < nl.nets().size(); ++i) {
+    for (const auto& p : nl.nets()[i]) {
+      if (p.is_io() && p.io == io) return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> devices_of(const Netlist& nl, bool (*pred)(DeviceKind)) {
+  std::vector<int> out;
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    if (pred(nl.devices()[static_cast<std::size_t>(d)].kind)) out.push_back(d);
+  }
+  return out;
+}
+
+bool parallel_device(Netlist& nl, Rng& rng) {
+  if (nl.num_devices() == 0) return false;
+  const int d = static_cast<int>(rng.index(
+      static_cast<std::size_t>(nl.num_devices())));
+  const DeviceKind kind = nl.devices()[static_cast<std::size_t>(d)].kind;
+  // Resolve nets first (adding the device must not invalidate them).
+  std::vector<int> nets;
+  for (int p = 0; p < pin_count(kind); ++p) {
+    const auto id = nl.net_of(circuit::dev_ref(d, p));
+    if (!id) return false;
+    nets.push_back(*id);
+  }
+  const int nd = nl.add_device(kind);
+  for (int p = 0; p < pin_count(kind); ++p) {
+    nl.connect(nets[static_cast<std::size_t>(p)], circuit::dev_ref(nd, p));
+  }
+  return true;
+}
+
+/// Split pin `target` off its net, inserting a resistor between the pin's
+/// new private net and the original net.
+bool insert_series_resistor(Netlist& nl, const PinRef& target) {
+  const auto old_net = nl.net_of(target);
+  if (!old_net) return false;
+  nl.disconnect(target);
+  const int res = nl.add_device(DeviceKind::Resistor);
+  const int fresh = nl.add_net({target, circuit::dev_ref(res, circuit::two::P)});
+  (void)fresh;
+  nl.connect(*old_net, circuit::dev_ref(res, circuit::two::N));
+  return true;
+}
+
+bool series_resistor(Netlist& nl, Rng& rng) {
+  const auto twos = devices_of(nl, [](DeviceKind k) {
+    return pin_count(k) == 2 && k != DeviceKind::Capacitor;
+  });
+  if (twos.empty()) return false;
+  const int d = rng.choice(twos);
+  const int p = rng.range(0, 1);
+  return insert_series_resistor(nl, circuit::dev_ref(d, p));
+}
+
+bool source_degeneration(Netlist& nl, Rng& rng) {
+  const auto mos = devices_of(nl, is_mos);
+  if (mos.empty()) return false;
+  const int d = rng.choice(mos);
+  return insert_series_resistor(nl, circuit::dev_ref(d, circuit::mos::S));
+}
+
+bool cascode(Netlist& nl, Rng& rng) {
+  const auto mos = devices_of(nl, is_mos);
+  if (mos.empty()) return false;
+  const int d = rng.choice(mos);
+  const DeviceKind kind = nl.devices()[static_cast<std::size_t>(d)].kind;
+  const PinRef drain = circuit::dev_ref(d, circuit::mos::D);
+  const auto old_net = nl.net_of(drain);
+  const auto bulk_net = nl.net_of(circuit::dev_ref(d, circuit::mos::B));
+  if (!old_net || !bulk_net) return false;
+  // Gate bias for the cascode: reuse an existing bias pin net, or the
+  // device's own gate net (self-cascode) as fallback.
+  std::optional<int> gate_net = net_with_io(nl, IoPin::Vb2);
+  if (!gate_net) gate_net = net_with_io(nl, IoPin::Vb1);
+  if (!gate_net) gate_net = nl.net_of(circuit::dev_ref(d, circuit::mos::G));
+  if (!gate_net) return false;
+
+  nl.disconnect(drain);
+  const int casc = nl.add_device(kind);
+  nl.add_net({drain, circuit::dev_ref(casc, circuit::mos::S)});
+  nl.connect(*old_net, circuit::dev_ref(casc, circuit::mos::D));
+  nl.connect(*gate_net, circuit::dev_ref(casc, circuit::mos::G));
+  nl.connect(*bulk_net, circuit::dev_ref(casc, circuit::mos::B));
+  return true;
+}
+
+bool cap_to_vss(Netlist& nl, int from_net) {
+  const auto vss = net_with_io(nl, IoPin::Vss);
+  if (!vss || *vss == from_net) return false;
+  const int cap = nl.add_device(DeviceKind::Capacitor);
+  nl.connect(from_net, circuit::dev_ref(cap, circuit::two::P));
+  nl.connect(*vss, circuit::dev_ref(cap, circuit::two::N));
+  return true;
+}
+
+bool load_cap(Netlist& nl, Rng& rng) {
+  const auto out = net_with_io(
+      nl, rng.chance(0.5) ? IoPin::Vout1 : IoPin::Vout2);
+  if (!out) return false;
+  return cap_to_vss(nl, *out);
+}
+
+bool bypass_cap(Netlist& nl, Rng& rng) {
+  if (nl.nets().empty()) return false;
+  const int net = static_cast<int>(rng.index(nl.nets().size()));
+  if (nl.nets()[static_cast<std::size_t>(net)].size() < 2) return false;
+  return cap_to_vss(nl, net);
+}
+
+}  // namespace
+
+bool apply_mutation(Netlist& nl, MutationKind kind, Rng& rng) {
+  switch (kind) {
+    case MutationKind::ParallelDevice: return parallel_device(nl, rng);
+    case MutationKind::SeriesResistor: return series_resistor(nl, rng);
+    case MutationKind::SourceDegeneration: return source_degeneration(nl, rng);
+    case MutationKind::Cascode: return cascode(nl, rng);
+    case MutationKind::LoadCap: return load_cap(nl, rng);
+    case MutationKind::BypassCap: return bypass_cap(nl, rng);
+  }
+  return false;
+}
+
+bool mutate(Netlist& nl, Rng& rng) {
+  const auto kind = static_cast<MutationKind>(rng.index(6));
+  return apply_mutation(nl, kind, rng);
+}
+
+}  // namespace eva::data

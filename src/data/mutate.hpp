@@ -1,0 +1,33 @@
+// Validity-preserving structural mutations.
+//
+// The dataset generators produce family archetypes; mutations multiply
+// them into the thousands of distinct topologies the pretraining corpus
+// needs (paper: 3470 unique real-world topologies). Each mutation is a
+// small designer-plausible edit — parallel device, series degeneration,
+// cascoding, extra filter caps — and callers re-validate and re-classify
+// afterwards, dropping mutants that break validity or change type.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace eva::data {
+
+/// Kinds of structural edits mutate() can apply.
+enum class MutationKind : std::uint8_t {
+  ParallelDevice,     // duplicate a device onto the same nets
+  SeriesResistor,     // split a 2-pin-device connection with a resistor
+  SourceDegeneration, // resistor under a MOS source
+  Cascode,            // stack a same-kind MOS over a MOS drain
+  LoadCap,            // capacitor from an output net to VSS
+  BypassCap,          // capacitor from an internal net to VSS
+};
+
+/// Apply one random mutation in place. Returns false when no applicable
+/// site exists (netlist unchanged in that case).
+bool mutate(circuit::Netlist& nl, Rng& rng);
+
+/// Apply a specific mutation kind; returns false if inapplicable.
+bool apply_mutation(circuit::Netlist& nl, MutationKind kind, Rng& rng);
+
+}  // namespace eva::data

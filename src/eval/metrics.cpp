@@ -1,0 +1,116 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "circuit/canon.hpp"
+#include "circuit/graphstats.hpp"
+#include "spice/engine.hpp"
+
+namespace eva::eval {
+
+using circuit::CircuitType;
+
+GenerationEval evaluate_generation(const std::vector<Attempt>& attempts,
+                                   const data::Dataset& reference) {
+  GenerationEval ev;
+  ev.total = static_cast<int>(attempts.size());
+
+  std::vector<std::vector<double>> gen_stats;
+  std::set<CircuitType> types;
+  for (const auto& a : attempts) {
+    if (!a.has_value()) continue;
+    if (!spice::simulatable(*a)) continue;
+    ++ev.valid;
+    const auto h = circuit::canonical_hash(*a);
+    if (!reference.contains_hash(h)) ++ev.novel;
+    gen_stats.push_back(circuit::stats_vector(*a));
+    const CircuitType t = circuit::classify(*a);
+    ++ev.type_counts[t];
+    if (t != CircuitType::Unknown) types.insert(t);
+  }
+  ev.validity_pct =
+      ev.total > 0 ? 100.0 * ev.valid / static_cast<double>(ev.total) : 0.0;
+  ev.novelty_pct =
+      ev.valid > 0 ? 100.0 * ev.novel / static_cast<double>(ev.valid) : 0.0;
+  ev.versatility = static_cast<int>(types.size());
+
+  if (!gen_stats.empty()) {
+    std::vector<std::vector<double>> ref_stats;
+    ref_stats.reserve(reference.entries().size());
+    for (const auto& e : reference.entries()) {
+      ref_stats.push_back(circuit::stats_vector(e.netlist));
+    }
+    ev.mmd = mmd_gaussian(gen_stats, ref_stats);
+  }
+  return ev;
+}
+
+namespace {
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+double mmd_gaussian(const std::vector<std::vector<double>>& x,
+                    const std::vector<std::vector<double>>& y, double sigma) {
+  if (x.empty() || y.empty()) return 0.0;
+  EVA_REQUIRE(x[0].size() == y[0].size(), "mmd: feature dims differ");
+
+  double sigma2 = sigma * sigma;
+  if (sigma <= 0.0) {
+    // Median heuristic over a bounded subsample of pooled pairs.
+    std::vector<double> dists;
+    const std::size_t nx = std::min<std::size_t>(x.size(), 128);
+    const std::size_t ny = std::min<std::size_t>(y.size(), 128);
+    for (std::size_t i = 0; i < nx; ++i) {
+      for (std::size_t j = 0; j < ny; ++j) {
+        dists.push_back(sq_dist(x[i], y[j]));
+      }
+    }
+    std::nth_element(dists.begin(), dists.begin() + static_cast<long>(dists.size() / 2),
+                     dists.end());
+    sigma2 = std::max(dists[dists.size() / 2], 1e-6);
+  }
+  const double gamma = 1.0 / (2.0 * sigma2);
+  auto kernel_mean = [&](const std::vector<std::vector<double>>& a,
+                         const std::vector<std::vector<double>>& b) {
+    double s = 0;
+    for (const auto& u : a) {
+      for (const auto& v : b) s += std::exp(-gamma * sq_dist(u, v));
+    }
+    return s / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+  };
+  const double mmd2 =
+      kernel_mean(x, x) + kernel_mean(y, y) - 2.0 * kernel_mean(x, y);
+  return std::sqrt(std::max(mmd2, 0.0));
+}
+
+FomAtKResult fom_at_k(const std::function<Attempt()>& gen, int k,
+                      CircuitType target, const opt::GaConfig& ga) {
+  FomAtKResult res;
+  res.attempts = k;
+  for (int i = 0; i < k; ++i) {
+    const Attempt a = gen();
+    if (!a.has_value()) continue;
+    if (!spice::simulatable(*a)) continue;
+    ++res.valid;
+    if (circuit::classify(*a) == target) ++res.relevant;
+    opt::GaConfig cfg = ga;
+    cfg.seed = ga.seed + static_cast<std::uint64_t>(i) * 101;
+    const auto sized = opt::size_topology(*a, target, cfg);
+    if (sized.ok) {
+      res.foms.push_back(sized.perf.fom);
+      res.best_fom = std::max(res.best_fom, sized.perf.fom);
+    }
+  }
+  return res;
+}
+
+}  // namespace eva::eval

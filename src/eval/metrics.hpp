@@ -1,0 +1,63 @@
+// The paper's evaluation metrics (§IV-A):
+//  (1) Validity  — % of generated topologies that are simulatable,
+//  (2) Novelty   — % different from the dataset (canonical hash) and the
+//                  MMD between generated and real graph statistics,
+//  (3) Versatility — number of distinct circuit types generated,
+//  (4) Training sample efficiency — # of performance-labeled topologies
+//                  (reported by callers; each method knows its own count),
+//  (5) Discovery efficiency — FoM@k: best FoM among k generated topologies
+//                  after GA sizing and mini-SPICE evaluation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "circuit/classify.hpp"
+#include "circuit/netlist.hpp"
+#include "data/dataset.hpp"
+#include "opt/ga.hpp"
+
+namespace eva::eval {
+
+/// A generation attempt: nullopt when the method emitted something that
+/// does not even decode to a netlist.
+using Attempt = std::optional<circuit::Netlist>;
+
+struct GenerationEval {
+  int total = 0;
+  int valid = 0;                    // simulatable with default sizing
+  double validity_pct = 0.0;
+  int novel = 0;                    // valid and not in the dataset
+  double novelty_pct = 0.0;         // novel / valid (paper: "diff circuit %")
+  double mmd = 0.0;                 // generated-vs-dataset graph-stat MMD
+  int versatility = 0;              // distinct known types among valid
+  std::map<circuit::CircuitType, int> type_counts;
+};
+
+/// Evaluate a batch of generation attempts against the reference dataset.
+[[nodiscard]] GenerationEval evaluate_generation(
+    const std::vector<Attempt>& attempts, const data::Dataset& reference);
+
+/// Gaussian-kernel MMD between two sets of feature vectors. sigma <= 0
+/// selects the median-distance heuristic over the pooled sample.
+[[nodiscard]] double mmd_gaussian(const std::vector<std::vector<double>>& x,
+                                  const std::vector<std::vector<double>>& y,
+                                  double sigma = 0.0);
+
+struct FomAtKResult {
+  double best_fom = 0.0;
+  int attempts = 0;       // k
+  int valid = 0;          // topologies that reached GA sizing
+  int relevant = 0;       // ... classified as the target type
+  std::vector<double> foms;  // FoM of each sized topology
+};
+
+/// Discovery efficiency: draw k attempts from `gen`, GA-size every valid
+/// one for the target type's FoM, report the best.
+[[nodiscard]] FomAtKResult fom_at_k(const std::function<Attempt()>& gen, int k,
+                                    circuit::CircuitType target,
+                                    const opt::GaConfig& ga);
+
+}  // namespace eva::eval

@@ -1,0 +1,31 @@
+// Model hyperparameters for EVA's decoder-only transformer.
+//
+// The paper's model: 6 layers, 6 heads, 11.825M parameters, vocab 1029,
+// max sequence length 1024 (§IV-A), trained on an A100. paper_scale()
+// reproduces that configuration; bench_scale() is the CPU-sized default
+// used by the reproduction benchmarks; tiny() is for unit tests.
+#pragma once
+
+namespace eva::nn {
+
+struct ModelConfig {
+  int vocab = 0;        // set from the tokenizer
+  int d_model = 64;
+  int n_layers = 2;
+  int n_heads = 2;
+  int d_ff = 256;       // MLP hidden width (4 * d_model by convention)
+  int max_seq = 256;
+  float dropout = 0.0f;
+
+  [[nodiscard]] static ModelConfig tiny(int vocab) {
+    return {vocab, 32, 1, 2, 128, 128, 0.0f};
+  }
+  [[nodiscard]] static ModelConfig bench_scale(int vocab) {
+    return {vocab, 64, 2, 2, 256, 256, 0.0f};
+  }
+  [[nodiscard]] static ModelConfig paper_scale(int vocab) {
+    return {vocab, 384, 6, 6, 1536, 1024, 0.1f};
+  }
+};
+
+}  // namespace eva::nn

@@ -1,0 +1,135 @@
+#include "nn/lm_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/pingraph.hpp"
+
+namespace eva::nn {
+
+using namespace eva::tensor;
+
+SequenceCorpus build_corpus(const data::Dataset& ds, const Tokenizer& tok,
+                            int tours_per_topology, int max_seq, Rng& rng) {
+  EVA_REQUIRE(tours_per_topology >= 1, "need at least one tour per topology");
+  SequenceCorpus corpus;
+  const auto split = ds.split();
+  auto encode_one = [&](std::size_t idx) -> std::vector<int> {
+    const auto tour = circuit::encode_tour(ds.entries()[idx].netlist, rng);
+    return tok.encode_tour(tour);
+  };
+  for (std::size_t idx : split.train) {
+    for (int t = 0; t < tours_per_topology; ++t) {
+      auto ids = encode_one(idx);
+      if (static_cast<int>(ids.size()) <= max_seq) {
+        corpus.train.push_back(std::move(ids));
+      }
+    }
+  }
+  for (std::size_t idx : split.val) {
+    auto ids = encode_one(idx);
+    if (static_cast<int>(ids.size()) <= max_seq) {
+      corpus.val.push_back(std::move(ids));
+    }
+  }
+  EVA_REQUIRE(!corpus.train.empty(), "corpus has no training sequences");
+  return corpus;
+}
+
+TokenBatch make_batch(const std::vector<const std::vector<int>*>& seqs,
+                      int max_seq) {
+  EVA_REQUIRE(!seqs.empty(), "empty batch");
+  TokenBatch b;
+  b.batch = static_cast<int>(seqs.size());
+  std::size_t longest = 0;
+  for (const auto* s : seqs) longest = std::max(longest, s->size());
+  // Inputs drop the last token, targets drop the first: T = longest - 1.
+  b.seq_len = static_cast<int>(
+      std::min<std::size_t>(longest - 1, static_cast<std::size_t>(max_seq)));
+  const auto T = static_cast<std::size_t>(b.seq_len);
+  b.inputs.assign(static_cast<std::size_t>(b.batch) * T, Tokenizer::kPad);
+  b.targets.assign(static_cast<std::size_t>(b.batch) * T, -1);
+  for (std::size_t r = 0; r < seqs.size(); ++r) {
+    const auto& s = *seqs[r];
+    const std::size_t n = std::min(s.size() - 1, T);
+    for (std::size_t t = 0; t < n; ++t) {
+      b.inputs[r * T + t] = s[t];
+      b.targets[r * T + t] = s[t + 1];
+    }
+  }
+  return b;
+}
+
+double eval_lm_loss(const TransformerLM& model,
+                    const std::vector<std::vector<int>>& seqs, int batch) {
+  if (seqs.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start < seqs.size();
+       start += static_cast<std::size_t>(batch)) {
+    std::vector<const std::vector<int>*> ptrs;
+    for (std::size_t i = start;
+         i < std::min(seqs.size(), start + static_cast<std::size_t>(batch));
+         ++i) {
+      ptrs.push_back(&seqs[i]);
+    }
+    const TokenBatch b = make_batch(ptrs, model.config().max_seq);
+    Tensor logits = model.forward(b.inputs, b.batch, b.seq_len,
+                                  /*training=*/false);
+    Tensor loss = cross_entropy(logits, b.targets, -1);
+    total += loss.item() * static_cast<double>(ptrs.size());
+    count += ptrs.size();
+  }
+  return total / static_cast<double>(count);
+}
+
+PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
+                        const PretrainConfig& cfg,
+                        const std::function<void(int, double)>& on_step) {
+  Rng rng(cfg.seed);
+  auto params = model.parameters();
+  AdamW opt(params, {.lr = cfg.lr, .weight_decay = cfg.weight_decay});
+
+  PretrainResult result;
+  result.losses.reserve(static_cast<std::size_t>(cfg.steps));
+  for (int step = 0; step < cfg.steps; ++step) {
+    // LR schedule: linear warmup then cosine decay to lr_min_frac * lr.
+    float lr = cfg.lr;
+    if (step < cfg.warmup) {
+      lr = cfg.lr * static_cast<float>(step + 1) /
+           static_cast<float>(cfg.warmup);
+    } else if (cfg.steps > cfg.warmup) {
+      const float t = static_cast<float>(step - cfg.warmup) /
+                      static_cast<float>(cfg.steps - cfg.warmup);
+      const float floor_lr = cfg.lr * cfg.lr_min_frac;
+      lr = floor_lr + 0.5f * (cfg.lr - floor_lr) *
+                          (1.0f + std::cos(3.14159265f * t));
+    }
+    opt.set_lr(lr);
+
+    std::vector<const std::vector<int>*> ptrs;
+    ptrs.reserve(static_cast<std::size_t>(cfg.batch));
+    for (int i = 0; i < cfg.batch; ++i) {
+      ptrs.push_back(&corpus.train[rng.index(corpus.train.size())]);
+    }
+    const TokenBatch b = make_batch(ptrs, model.config().max_seq);
+
+    opt.zero_grad();
+    Rng drop_rng = rng.fork();
+    Tensor logits =
+        model.forward(b.inputs, b.batch, b.seq_len, true, &drop_rng);
+    Tensor loss = cross_entropy(logits, b.targets, -1);
+    loss.backward();
+    clip_grad_norm(params, cfg.clip);
+    opt.step();
+
+    result.losses.push_back(loss.item());
+    if (on_step && (step % cfg.log_every == 0 || step + 1 == cfg.steps)) {
+      on_step(step, loss.item());
+    }
+  }
+  result.final_val_loss = eval_lm_loss(model, corpus.val, cfg.batch);
+  return result;
+}
+
+}  // namespace eva::nn

@@ -1,0 +1,51 @@
+// Autoregressive topology sampling (generation phase, paper §III-B):
+// start from the single context token VSS and sample until EOS.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/pingraph.hpp"
+#include "nn/tokenizer.hpp"
+#include "nn/transformer.hpp"
+
+namespace eva::nn {
+
+struct SampleOptions {
+  float temperature = 1.0f;
+  int top_k = 0;        // 0 = full distribution
+  int max_len = 0;      // 0 = model max_seq
+  /// Walk-legality mask (DESIGN.md §4): bans pad tokens and immediate
+  /// self-loops, and gates EOS on "walk is back at VSS with every
+  /// mentioned device's cycle complete". This enforces Euler-walk
+  /// well-formedness only — electrical validity (floating pins, shorts,
+  /// DC solvability: the paper's stated invalidity modes) stays entirely
+  /// up to the model and is what the Validity metric measures.
+  bool legality_mask = true;
+};
+
+struct SampleResult {
+  std::vector<int> ids;            // starts with VSS, excludes EOS
+  std::vector<float> logprobs;     // log p of each sampled token (incl. EOS
+                                   // as the last entry when emitted)
+  bool hit_eos = false;
+};
+
+/// Sample one sequence with the KV-cache inference path.
+[[nodiscard]] SampleResult sample_sequence(const TransformerLM& model,
+                                           const Tokenizer& tok, Rng& rng,
+                                           const SampleOptions& opts = {});
+
+/// Sample `n` sequences, fanned out across worker threads (the model is
+/// read-only during inference). Deterministic given the seed rng.
+[[nodiscard]] std::vector<SampleResult> sample_batch(
+    const TransformerLM& model, const Tokenizer& tok, Rng& rng, int n,
+    const SampleOptions& opts = {});
+
+/// Decode a sampled id sequence into a netlist (appends the implicit
+/// return-to-VSS if absent is NOT done — the model must close the tour).
+/// Returns nullopt when the sequence is not a decodable tour.
+[[nodiscard]] std::optional<circuit::Netlist> ids_to_netlist(
+    const Tokenizer& tok, const std::vector<int>& ids);
+
+}  // namespace eva::nn

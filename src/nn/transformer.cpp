@@ -1,0 +1,306 @@
+#include "nn/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eva::nn {
+
+using namespace eva::tensor;
+
+namespace {
+/// GPT-2-style init scales.
+Tensor init_weight(Shape shape, Rng& rng, float scale = 0.02f) {
+  return Tensor::randn(std::move(shape), rng, scale, true);
+}
+Tensor init_zeros(Shape shape) { return Tensor::zeros(std::move(shape), true); }
+Tensor init_ones(Shape shape) {
+  return Tensor::full(std::move(shape), 1.0f, true);
+}
+}  // namespace
+
+TransformerLM::TransformerLM(ModelConfig cfg, Rng& rng) : cfg_(cfg) {
+  EVA_REQUIRE(cfg_.vocab > 2, "vocab must include specials");
+  EVA_REQUIRE(cfg_.d_model % cfg_.n_heads == 0,
+              "d_model must be divisible by n_heads");
+  const int C = cfg_.d_model;
+  tok_emb_ = init_weight({cfg_.vocab, C}, rng);
+  pos_emb_ = init_weight({cfg_.max_seq, C}, rng, 0.01f);
+  const float resid_scale =
+      0.02f / std::sqrt(2.0f * static_cast<float>(cfg_.n_layers));
+  for (int l = 0; l < cfg_.n_layers; ++l) {
+    Block b;
+    b.ln1_g = init_ones({C});
+    b.ln1_b = init_zeros({C});
+    b.wq = init_weight({C, C}, rng);
+    b.bq = init_zeros({C});
+    b.wk = init_weight({C, C}, rng);
+    b.bk = init_zeros({C});
+    b.wv = init_weight({C, C}, rng);
+    b.bv = init_zeros({C});
+    b.wo = init_weight({C, C}, rng, resid_scale);
+    b.bo = init_zeros({C});
+    b.ln2_g = init_ones({C});
+    b.ln2_b = init_zeros({C});
+    b.w1 = init_weight({C, cfg_.d_ff}, rng);
+    b.b1 = init_zeros({cfg_.d_ff});
+    b.w2 = init_weight({cfg_.d_ff, C}, rng, resid_scale);
+    b.b2 = init_zeros({C});
+    blocks_.push_back(std::move(b));
+  }
+  lnf_g_ = init_ones({C});
+  lnf_b_ = init_zeros({C});
+  lm_head_ = init_weight({C, cfg_.vocab}, rng);
+}
+
+std::vector<Tensor> TransformerLM::parameters() const {
+  std::vector<Tensor> ps{tok_emb_, pos_emb_};
+  for (const auto& b : blocks_) {
+    for (const auto& t :
+         {b.ln1_g, b.ln1_b, b.wq, b.bq, b.wk, b.bk, b.wv, b.bv, b.wo, b.bo,
+          b.ln2_g, b.ln2_b, b.w1, b.b1, b.w2, b.b2}) {
+      ps.push_back(t);
+    }
+  }
+  ps.push_back(lnf_g_);
+  ps.push_back(lnf_b_);
+  ps.push_back(lm_head_);
+  return ps;
+}
+
+std::size_t TransformerLM::num_params() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void TransformerLM::load_from(const TransformerLM& other) {
+  auto src = other.parameters();
+  auto dst = parameters();
+  EVA_REQUIRE(src.size() == dst.size(), "load_from: model shape mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EVA_REQUIRE(src[i].numel() == dst[i].numel(),
+                "load_from: tensor shape mismatch");
+    auto s = src[i].data();
+    auto d = dst[i].data();
+    std::copy(s.begin(), s.end(), d.begin());
+  }
+}
+
+Tensor TransformerLM::block_forward(const Tensor& x, const Block& blk, int T,
+                                    bool training, Rng* dropout_rng) const {
+  const int H = cfg_.n_heads;
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(cfg_.d_model / cfg_.n_heads));
+
+  // Attention sublayer.
+  Tensor h = layernorm(x, blk.ln1_g, blk.ln1_b);
+  Tensor q = add(matmul(h, blk.wq), blk.bq);
+  Tensor k = add(matmul(h, blk.wk), blk.bk);
+  Tensor v = add(matmul(h, blk.wv), blk.bv);
+  Tensor qh = split_heads(q, H);
+  Tensor kh = split_heads(k, H);
+  Tensor vh = split_heads(v, H);
+  Tensor scores = mul_scalar(matmul(qh, transpose_last(kh)), scale);
+  Tensor probs = causal_softmax(scores, T);
+  Tensor ctx = merge_heads(matmul(probs, vh), H);
+  Tensor att = add(matmul(ctx, blk.wo), blk.bo);
+  if (training && dropout_rng != nullptr && cfg_.dropout > 0.0f) {
+    att = dropout(att, cfg_.dropout, *dropout_rng, true);
+  }
+  Tensor x1 = add(x, att);
+
+  // MLP sublayer.
+  Tensor m = layernorm(x1, blk.ln2_g, blk.ln2_b);
+  Tensor ff = add(matmul(gelu(add(matmul(m, blk.w1), blk.b1)), blk.w2), blk.b2);
+  if (training && dropout_rng != nullptr && cfg_.dropout > 0.0f) {
+    ff = dropout(ff, cfg_.dropout, *dropout_rng, true);
+  }
+  return add(x1, ff);
+}
+
+Tensor TransformerLM::forward_hidden(const std::vector<int>& tokens, int B,
+                                     int T, bool training,
+                                     Rng* dropout_rng) const {
+  EVA_REQUIRE(T <= cfg_.max_seq, "sequence longer than max_seq");
+  EVA_REQUIRE(tokens.size() == static_cast<std::size_t>(B) *
+                                   static_cast<std::size_t>(T),
+              "token count mismatch");
+  Tensor x = embedding(tok_emb_, tokens, B, T);
+  std::vector<int> pos(static_cast<std::size_t>(B) * static_cast<std::size_t>(T));
+  for (int b = 0; b < B; ++b) {
+    for (int t = 0; t < T; ++t) {
+      pos[static_cast<std::size_t>(b) * static_cast<std::size_t>(T) +
+          static_cast<std::size_t>(t)] = t;
+    }
+  }
+  x = add(x, embedding(pos_emb_, pos, B, T));
+  for (const auto& blk : blocks_) {
+    x = block_forward(x, blk, T, training, dropout_rng);
+  }
+  return layernorm(x, lnf_g_, lnf_b_);
+}
+
+Tensor TransformerLM::lm_logits(const Tensor& hidden) const {
+  const int B = hidden.dim(0);
+  const int T = hidden.dim(1);
+  Tensor logits = matmul(hidden, lm_head_);  // (B,T,V)
+  return reshape(logits, {B * T, cfg_.vocab});
+}
+
+Tensor TransformerLM::forward(const std::vector<int>& tokens, int B, int T,
+                              bool training, Rng* dropout_rng) const {
+  return lm_logits(forward_hidden(tokens, B, T, training, dropout_rng));
+}
+
+// ---------------------------------------------------------------------------
+// Inference path (KV cache, no autograd)
+// ---------------------------------------------------------------------------
+
+TransformerLM::Cache TransformerLM::make_cache() const {
+  Cache c;
+  c.k.resize(static_cast<std::size_t>(cfg_.n_layers));
+  c.v.resize(static_cast<std::size_t>(cfg_.n_layers));
+  for (auto& kk : c.k) {
+    kk.reserve(static_cast<std::size_t>(cfg_.max_seq * cfg_.d_model));
+  }
+  for (auto& vv : c.v) {
+    vv.reserve(static_cast<std::size_t>(cfg_.max_seq * cfg_.d_model));
+  }
+  return c;
+}
+
+namespace {
+
+// y = x @ W + b where W is (in,out), all plain float.
+void linear(const float* x, std::span<const float> w, std::span<const float> b,
+            float* y, int in, int out) {
+  for (int o = 0; o < out; ++o) y[o] = b.empty() ? 0.0f : b[static_cast<std::size_t>(o)];
+  for (int i = 0; i < in; ++i) {
+    const float xv = x[i];
+    if (xv == 0.0f) continue;
+    const float* wr = w.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out);
+    for (int o = 0; o < out; ++o) y[o] += xv * wr[o];
+  }
+}
+
+void layernorm_inplace(float* x, std::span<const float> g,
+                       std::span<const float> b, int n) {
+  float mu = 0;
+  for (int i = 0; i < n; ++i) mu += x[i];
+  mu /= static_cast<float>(n);
+  float var = 0;
+  for (int i = 0; i < n; ++i) {
+    const float d = x[i] - mu;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float is = 1.0f / std::sqrt(var + 1e-5f);
+  for (int i = 0; i < n; ++i) {
+    x[i] = (x[i] - mu) * is * g[static_cast<std::size_t>(i)] +
+           b[static_cast<std::size_t>(i)];
+  }
+}
+
+float gelu_scalar(float x) {
+  constexpr float kC = 0.7978845608028654f;
+  return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+}
+
+}  // namespace
+
+void TransformerLM::infer_step(Cache& cache, int token,
+                               std::vector<float>& logits) const {
+  EVA_REQUIRE(token >= 0 && token < cfg_.vocab, "infer_step: bad token");
+  EVA_REQUIRE(cache.len < cfg_.max_seq, "infer_step: cache full");
+  const int C = cfg_.d_model;
+  const int H = cfg_.n_heads;
+  const int hd = C / H;
+  const int pos = cache.len;
+
+  std::vector<float> x(static_cast<std::size_t>(C));
+  {
+    auto te = tok_emb_.data();
+    auto pe = pos_emb_.data();
+    for (int i = 0; i < C; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          te[static_cast<std::size_t>(token) * static_cast<std::size_t>(C) +
+             static_cast<std::size_t>(i)] +
+          pe[static_cast<std::size_t>(pos) * static_cast<std::size_t>(C) +
+             static_cast<std::size_t>(i)];
+    }
+  }
+
+  std::vector<float> h(static_cast<std::size_t>(C));
+  std::vector<float> q(static_cast<std::size_t>(C));
+  std::vector<float> kv(static_cast<std::size_t>(C));
+  std::vector<float> ctx(static_cast<std::size_t>(C));
+  std::vector<float> att(static_cast<std::size_t>(C));
+  std::vector<float> ff(static_cast<std::size_t>(cfg_.d_ff));
+  std::vector<float> scores;
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    const Block& blk = blocks_[l];
+    // ln1
+    h = x;
+    layernorm_inplace(h.data(), blk.ln1_g.data(), blk.ln1_b.data(), C);
+    // q,k,v for this position; append k,v to cache.
+    linear(h.data(), blk.wq.data(), blk.bq.data(), q.data(), C, C);
+    linear(h.data(), blk.wk.data(), blk.bk.data(), kv.data(), C, C);
+    cache.k[l].insert(cache.k[l].end(), kv.begin(), kv.end());
+    linear(h.data(), blk.wv.data(), blk.bv.data(), kv.data(), C, C);
+    cache.v[l].insert(cache.v[l].end(), kv.begin(), kv.end());
+
+    // Attention over cached positions, per head.
+    const int T = pos + 1;
+    scores.assign(static_cast<std::size_t>(T), 0.0f);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    for (int head = 0; head < H; ++head) {
+      const int off = head * hd;
+      float mx = -1e30f;
+      for (int t = 0; t < T; ++t) {
+        const float* kt = cache.k[l].data() +
+                          static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
+                          static_cast<std::size_t>(off);
+        float s = 0;
+        for (int i = 0; i < hd; ++i) s += q[static_cast<std::size_t>(off + i)] * kt[i];
+        s *= scale;
+        scores[static_cast<std::size_t>(t)] = s;
+        mx = std::max(mx, s);
+      }
+      float z = 0;
+      for (int t = 0; t < T; ++t) {
+        scores[static_cast<std::size_t>(t)] =
+            std::exp(scores[static_cast<std::size_t>(t)] - mx);
+        z += scores[static_cast<std::size_t>(t)];
+      }
+      const float inv = 1.0f / z;
+      for (int i = 0; i < hd; ++i) ctx[static_cast<std::size_t>(off + i)] = 0.0f;
+      for (int t = 0; t < T; ++t) {
+        const float p = scores[static_cast<std::size_t>(t)] * inv;
+        const float* vt = cache.v[l].data() +
+                          static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
+                          static_cast<std::size_t>(off);
+        for (int i = 0; i < hd; ++i) {
+          ctx[static_cast<std::size_t>(off + i)] += p * vt[i];
+        }
+      }
+    }
+    linear(ctx.data(), blk.wo.data(), blk.bo.data(), att.data(), C, C);
+    for (int i = 0; i < C; ++i) x[static_cast<std::size_t>(i)] += att[static_cast<std::size_t>(i)];
+
+    // MLP.
+    h = x;
+    layernorm_inplace(h.data(), blk.ln2_g.data(), blk.ln2_b.data(), C);
+    linear(h.data(), blk.w1.data(), blk.b1.data(), ff.data(), C, cfg_.d_ff);
+    for (auto& f : ff) f = gelu_scalar(f);
+    linear(ff.data(), blk.w2.data(), blk.b2.data(), att.data(), cfg_.d_ff, C);
+    for (int i = 0; i < C; ++i) x[static_cast<std::size_t>(i)] += att[static_cast<std::size_t>(i)];
+  }
+
+  layernorm_inplace(x.data(), lnf_g_.data(), lnf_b_.data(), C);
+  logits.assign(static_cast<std::size_t>(cfg_.vocab), 0.0f);
+  linear(x.data(), lm_head_.data(), {}, logits.data(), C, cfg_.vocab);
+  ++cache.len;
+}
+
+}  // namespace eva::nn

@@ -1,0 +1,87 @@
+// EVA's decoder-only transformer (paper §III-B).
+//
+// GPT-style pre-norm architecture: token + learned positional embeddings,
+// N blocks of (layernorm -> causal multi-head self-attention -> residual,
+// layernorm -> GELU MLP -> residual), final layernorm, linear vocabulary
+// head. Two execution paths:
+//
+//  * training path — builds the autograd graph (tensor engine), used by
+//    pretraining, the reward model, PPO and DPO;
+//  * inference path — plain float math with a per-sequence KV cache, used
+//    by generation (sampling thousands of topologies for the metrics) and
+//    PPO rollouts. O(d^2 + t*d) per generated token.
+#pragma once
+
+#include <vector>
+
+#include "nn/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace eva::nn {
+
+class TransformerLM {
+ public:
+  TransformerLM(ModelConfig cfg, Rng& rng);
+
+  [[nodiscard]] const ModelConfig& config() const { return cfg_; }
+
+  /// All trainable parameters (stable order; serializable).
+  [[nodiscard]] std::vector<tensor::Tensor> parameters() const;
+  [[nodiscard]] std::size_t num_params() const;
+
+  /// Training path. `tokens` is row-major (B,T); returns logits (B*T, V).
+  /// Position indices run 0..T-1 per row.
+  [[nodiscard]] tensor::Tensor forward(const std::vector<int>& tokens, int B,
+                                       int T, bool training = true,
+                                       Rng* dropout_rng = nullptr) const;
+
+  /// Training path returning the final hidden states (B,T,C) — the input
+  /// to auxiliary heads (PPO value head, reward-model classifier head).
+  [[nodiscard]] tensor::Tensor forward_hidden(const std::vector<int>& tokens,
+                                              int B, int T,
+                                              bool training = true,
+                                              Rng* dropout_rng = nullptr) const;
+
+  /// Project hidden states (B,T,C) to logits (B*T,V) with the LM head.
+  [[nodiscard]] tensor::Tensor lm_logits(const tensor::Tensor& hidden) const;
+
+  // --- KV-cache inference ------------------------------------------------
+  struct Cache {
+    // Per layer: keys/values appended per step, each step d_model floats
+    // laid out head-major within the step.
+    std::vector<std::vector<float>> k, v;
+    int len = 0;
+  };
+
+  [[nodiscard]] Cache make_cache() const;
+
+  /// Feed one token; returns logits over the vocabulary for the next
+  /// position. Deterministic, no-grad, thread-safe for concurrent caches.
+  void infer_step(Cache& cache, int token, std::vector<float>& logits) const;
+
+  /// Copy all parameter values from another model of identical config
+  /// (snapshotting the reference model for PPO/DPO).
+  void load_from(const TransformerLM& other);
+
+ private:
+  struct Block {
+    tensor::Tensor ln1_g, ln1_b;
+    tensor::Tensor wq, bq, wk, bk, wv, bv, wo, bo;
+    tensor::Tensor ln2_g, ln2_b;
+    tensor::Tensor w1, b1, w2, b2;
+  };
+
+  [[nodiscard]] tensor::Tensor block_forward(const tensor::Tensor& x,
+                                             const Block& blk, int T,
+                                             bool training,
+                                             Rng* dropout_rng) const;
+
+  ModelConfig cfg_;
+  tensor::Tensor tok_emb_;   // (V, C)
+  tensor::Tensor pos_emb_;   // (max_seq, C)
+  std::vector<Block> blocks_;
+  tensor::Tensor lnf_g_, lnf_b_;
+  tensor::Tensor lm_head_;   // (C, V)
+};
+
+}  // namespace eva::nn

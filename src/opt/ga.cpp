@@ -1,0 +1,104 @@
+#include "opt/ga.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace eva::opt {
+
+GaResult ga_optimize(
+    int dim, const std::function<double(const std::vector<double>&)>& fitness,
+    const GaConfig& cfg) {
+  EVA_REQUIRE(dim > 0, "ga_optimize: dim must be positive");
+  EVA_REQUIRE(cfg.population >= 4, "ga_optimize: population too small");
+  Rng rng(cfg.seed);
+
+  struct Individual {
+    std::vector<double> genome;
+    double fit = 0.0;
+  };
+  std::vector<Individual> pop(static_cast<std::size_t>(cfg.population));
+  for (auto& ind : pop) {
+    ind.genome.resize(static_cast<std::size_t>(dim));
+    for (auto& g : ind.genome) g = rng.uniform();
+  }
+  // Seed one individual at the center (default-ish sizing).
+  std::fill(pop[0].genome.begin(), pop[0].genome.end(), 0.5);
+
+  auto eval_all = [&](std::vector<Individual>& p) {
+    parallel_for(0, p.size(),
+                 [&](std::size_t i) { p[i].fit = fitness(p[i].genome); });
+  };
+  eval_all(pop);
+
+  auto better = [](const Individual& a, const Individual& b) {
+    return a.fit > b.fit;
+  };
+
+  GaResult res;
+  for (int gen = 0; gen < cfg.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), better);
+    res.history.push_back(pop.front().fit);
+
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    for (int e = 0; e < cfg.elites && e < cfg.population; ++e) {
+      next.push_back(pop[static_cast<std::size_t>(e)]);
+    }
+    auto tournament_pick = [&]() -> const Individual& {
+      const Individual* best = &pop[rng.index(pop.size())];
+      for (int t = 1; t < cfg.tournament; ++t) {
+        const Individual& cand = pop[rng.index(pop.size())];
+        if (cand.fit > best->fit) best = &cand;
+      }
+      return *best;
+    };
+    while (next.size() < pop.size()) {
+      Individual child;
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      child.genome.resize(static_cast<std::size_t>(dim));
+      const bool crossover = rng.chance(cfg.crossover_rate);
+      for (int d = 0; d < dim; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        double g = crossover
+                       ? (rng.chance(0.5) ? pa.genome[di] : pb.genome[di])
+                       : pa.genome[di];
+        if (rng.chance(cfg.mutation_rate)) {
+          g += rng.normal(0.0, cfg.mutation_sigma);
+        }
+        child.genome[di] = std::clamp(g, 0.0, 1.0);
+      }
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    // Elites keep their fitness; re-evaluate the offspring.
+    parallel_for(static_cast<std::size_t>(cfg.elites), pop.size(),
+                 [&](std::size_t i) { pop[i].fit = fitness(pop[i].genome); });
+  }
+  std::sort(pop.begin(), pop.end(), better);
+  res.best = pop.front().genome;
+  res.best_fitness = pop.front().fit;
+  res.history.push_back(res.best_fitness);
+  return res;
+}
+
+SizingResult size_topology(const circuit::Netlist& nl,
+                           circuit::CircuitType target, const GaConfig& cfg) {
+  SizingResult out;
+  const int dim = nl.num_devices();
+  if (dim == 0) return out;
+
+  auto fitness = [&](const std::vector<double>& genome) -> double {
+    const auto sizing = spice::sizing_from_unit(nl, genome);
+    const auto perf = spice::evaluate(nl, sizing, target);
+    return perf.ok ? perf.fom : -1.0;
+  };
+  const GaResult ga = ga_optimize(dim, fitness, cfg);
+  out.sizing = spice::sizing_from_unit(nl, ga.best);
+  out.perf = spice::evaluate(nl, out.sizing, target);
+  out.ok = out.perf.ok;
+  return out;
+}
+
+}  // namespace eva::opt

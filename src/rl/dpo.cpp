@@ -1,0 +1,137 @@
+#include "rl/dpo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/optim.hpp"
+
+namespace eva::rl {
+
+using namespace eva::tensor;
+
+std::vector<PreferencePair> build_preference_pairs(
+    const std::vector<RankedExample>& examples, int per_combo, Rng& rng) {
+  std::vector<std::vector<const RankedExample*>> by_class(4);
+  for (const auto& e : examples) {
+    by_class[static_cast<std::size_t>(e.rank)].push_back(&e);
+  }
+  std::vector<PreferencePair> pairs;
+  for (int w = 0; w < 4; ++w) {
+    for (int l = w + 1; l < 4; ++l) {
+      const auto& winners = by_class[static_cast<std::size_t>(w)];
+      const auto& losers = by_class[static_cast<std::size_t>(l)];
+      if (winners.empty() || losers.empty()) continue;
+      for (int i = 0; i < per_combo; ++i) {
+        pairs.push_back(PreferencePair{
+            winners[rng.index(winners.size())]->ids,
+            losers[rng.index(losers.size())]->ids});
+      }
+    }
+  }
+  EVA_REQUIRE(!pairs.empty(), "no preference pairs could be built");
+  rng.shuffle(pairs);
+  return pairs;
+}
+
+DpoTrainer::DpoTrainer(nn::TransformerLM& policy, const nn::Tokenizer& tok,
+                       DpoConfig cfg)
+    : policy_(&policy),
+      ref_(policy.config(), init_rng_),
+      tok_(&tok),
+      cfg_(cfg) {
+  ref_.load_from(policy);
+}
+
+Tensor DpoTrainer::seq_logprob(const nn::TransformerLM& model,
+                               const std::vector<int>& ids) const {
+  EVA_REQUIRE(ids.size() >= 2, "sequence too short for log-prob");
+  const int max_t = model.config().max_seq;
+  // Teacher forcing: predict ids[1..] (plus EOS) from ids[..n-1].
+  std::vector<int> full = ids;
+  full.push_back(nn::Tokenizer::kEos);
+  if (static_cast<int>(full.size()) > max_t + 1) {
+    full.resize(static_cast<std::size_t>(max_t) + 1);
+  }
+  const int K = static_cast<int>(full.size()) - 1;
+  const std::vector<int> inputs(full.begin(), full.end() - 1);
+  const std::vector<int> targets(full.begin() + 1, full.end());
+  Tensor logits = model.forward(inputs, 1, K, false);
+  Tensor lsm = log_softmax_lastdim(logits);
+  return sum_all(gather_lastdim(lsm, targets));
+}
+
+DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
+                           const std::function<void(int, double)>& on_step) {
+  EVA_REQUIRE(!pairs.empty(), "DPO needs preference pairs");
+  Rng rng(cfg_.seed);
+  auto params = policy_->parameters();
+  AdamW opt(params, {.lr = cfg_.lr});
+
+  // Fixed probe sequences for the Fig. 4 degeneration curves.
+  std::vector<const std::vector<int>*> probe_win, probe_lose;
+  for (int i = 0; i < cfg_.logprob_probe &&
+                  i < static_cast<int>(pairs.size());
+       ++i) {
+    probe_win.push_back(&pairs[static_cast<std::size_t>(i)].win);
+    probe_lose.push_back(&pairs[static_cast<std::size_t>(i)].lose);
+  }
+
+  DpoStats stats;
+  for (int step = 0; step < cfg_.steps; ++step) {
+    opt.zero_grad();
+    Tensor loss_sum;
+    double acc = 0;
+    for (int p = 0; p < cfg_.pairs_per_step; ++p) {
+      const auto& pair = pairs[rng.index(pairs.size())];
+      Tensor lw = seq_logprob(*policy_, pair.win);
+      Tensor ll = seq_logprob(*policy_, pair.lose);
+      const float lw_ref = seq_logprob(ref_, pair.win).item();
+      const float ll_ref = seq_logprob(ref_, pair.lose).item();
+
+      // margin = (lw - lw_ref) - (ll - ll_ref)
+      Tensor margin = add_scalar(sub(lw, ll), -(lw_ref - ll_ref));
+      Tensor loss = neg(log_t(sigmoid(mul_scalar(margin, cfg_.beta))));
+      loss_sum = loss_sum.defined() ? add(loss_sum, loss) : loss;
+
+      acc += margin.item() > 0.0f ? 1.0 : 0.0;
+    }
+    Tensor loss =
+        mul_scalar(loss_sum, 1.0f / static_cast<float>(cfg_.pairs_per_step));
+    loss.backward();
+    clip_grad_norm(params, cfg_.clip_grad);
+    opt.step();
+
+    stats.loss.push_back(loss.item());
+    stats.reward_acc.push_back(acc / cfg_.pairs_per_step);
+    if (!probe_win.empty()) {
+      stats.logp_win.push_back(mean_logprob(probe_win));
+      stats.logp_lose.push_back(mean_logprob(probe_lose));
+    }
+    if (on_step) on_step(step, stats.loss.back());
+  }
+  return stats;
+}
+
+double DpoTrainer::reward_accuracy(
+    const std::vector<PreferencePair>& pairs) const {
+  if (pairs.empty()) return 0.0;
+  double acc = 0;
+  for (const auto& pair : pairs) {
+    const float lw = seq_logprob(*policy_, pair.win).item();
+    const float ll = seq_logprob(*policy_, pair.lose).item();
+    const float lw_ref = seq_logprob(ref_, pair.win).item();
+    const float ll_ref = seq_logprob(ref_, pair.lose).item();
+    acc += ((lw - lw_ref) - (ll - ll_ref)) > 0.0f ? 1.0 : 0.0;
+  }
+  return acc / static_cast<double>(pairs.size());
+}
+
+double DpoTrainer::mean_logprob(
+    const std::vector<const std::vector<int>*>& seqs) const {
+  if (seqs.empty()) return 0.0;
+  double total = 0;
+  for (const auto* s : seqs) total += seq_logprob(*policy_, *s).item();
+  return total / static_cast<double>(seqs.size());
+}
+
+}  // namespace eva::rl

@@ -1,0 +1,207 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/optim.hpp"
+
+namespace eva::rl {
+
+using namespace eva::tensor;
+
+PpoTrainer::PpoTrainer(nn::TransformerLM& policy, const nn::Tokenizer& tok,
+                       const RewardModel& reward_model, PpoConfig cfg,
+                       Rng& rng)
+    : policy_(&policy),
+      ref_(policy.config(), rng),
+      tok_(&tok),
+      rm_(&reward_model),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  ref_.load_from(policy);  // frozen snapshot: pi_theta_ref
+  value_w_ = Tensor::randn({policy.config().d_model, 1}, rng, 0.02f, true);
+  value_b_ = Tensor::zeros({1}, true);
+}
+
+void PpoTrainer::collect_rollouts(std::vector<Rollout>& out) {
+  out.clear();
+  nn::SampleOptions opts;
+  opts.temperature = cfg_.temperature;
+  opts.max_len = cfg_.max_len;
+  const auto samples =
+      nn::sample_batch(*policy_, *tok_, rng_, cfg_.rollouts, opts);
+
+  for (const auto& s : samples) {
+    Rollout r;
+    r.tokens = s.ids;
+    if (s.hit_eos) r.tokens.push_back(nn::Tokenizer::kEos);
+    r.n_actions = static_cast<int>(r.tokens.size()) - 1;
+    if (r.n_actions < 1) continue;
+    r.seq_reward = rm_->reward(s.ids);
+
+    // Teacher-forced passes for old log-probs, reference log-probs and
+    // value estimates. (Values come from the policy's value head.)
+    const int K = r.n_actions;
+    const std::vector<int> inputs(r.tokens.begin(), r.tokens.end() - 1);
+    const std::vector<int> actions(r.tokens.begin() + 1, r.tokens.end());
+
+    Tensor hidden = policy_->forward_hidden(inputs, 1, K, false);
+    Tensor logits = policy_->lm_logits(hidden);
+    Tensor lsm = log_softmax_lastdim(logits);
+    Tensor logp = gather_lastdim(lsm, actions);
+    Tensor values = reshape(add(matmul(hidden, value_w_), value_b_), {K});
+
+    Tensor ref_logits = ref_.forward(inputs, 1, K, false);
+    Tensor ref_lsm = log_softmax_lastdim(ref_logits);
+    Tensor ref_logp = gather_lastdim(ref_lsm, actions);
+
+    r.old_logp.assign(logp.data().begin(), logp.data().end());
+    r.ref_logp.assign(ref_logp.data().begin(), ref_logp.data().end());
+    r.values.assign(values.data().begin(), values.data().end());
+    compute_gae(r);
+    out.push_back(std::move(r));
+  }
+}
+
+void PpoTrainer::compute_gae(Rollout& r) const {
+  const int K = r.n_actions;
+  // Per-token reward (Eq. 2): KL penalty everywhere, sequence reward from
+  // the reward model on the final action.
+  std::vector<float> rew(static_cast<std::size_t>(K));
+  for (int t = 0; t < K; ++t) {
+    rew[static_cast<std::size_t>(t)] =
+        -cfg_.kl_beta * (r.old_logp[static_cast<std::size_t>(t)] -
+                         r.ref_logp[static_cast<std::size_t>(t)]);
+  }
+  rew[static_cast<std::size_t>(K - 1)] += static_cast<float>(r.seq_reward);
+
+  r.advantages.assign(static_cast<std::size_t>(K), 0.0f);
+  r.returns.assign(static_cast<std::size_t>(K), 0.0f);
+  float next_adv = 0.0f;
+  for (int t = K - 1; t >= 0; --t) {
+    const float v_next =
+        (t + 1 < K) ? r.values[static_cast<std::size_t>(t + 1)] : 0.0f;
+    const float delta = rew[static_cast<std::size_t>(t)] +
+                        cfg_.gamma * v_next -
+                        r.values[static_cast<std::size_t>(t)];
+    next_adv = delta + cfg_.gamma * cfg_.lam * next_adv;
+    r.advantages[static_cast<std::size_t>(t)] = next_adv;
+    r.returns[static_cast<std::size_t>(t)] =
+        next_adv + r.values[static_cast<std::size_t>(t)];
+  }
+}
+
+PpoStats PpoTrainer::train(const std::function<void(int, double)>& on_epoch) {
+  auto params = policy_->parameters();
+  params.push_back(value_w_);
+  params.push_back(value_b_);
+  AdamW opt(params, {.lr = cfg_.lr});
+
+  PpoStats stats;
+  std::vector<Rollout> rollouts;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    collect_rollouts(rollouts);
+    if (rollouts.empty()) continue;
+
+    double mean_r = 0;
+    for (const auto& r : rollouts) mean_r += r.seq_reward;
+    mean_r /= static_cast<double>(rollouts.size());
+    stats.mean_reward.push_back(mean_r);
+    if (on_epoch) on_epoch(epoch, mean_r);
+
+    // Advantage normalization across the whole rollout batch.
+    {
+      double s = 0, s2 = 0;
+      std::size_t n = 0;
+      for (const auto& r : rollouts) {
+        for (float a : r.advantages) {
+          s += a;
+          s2 += static_cast<double>(a) * a;
+          ++n;
+        }
+      }
+      const double mu = s / static_cast<double>(n);
+      const double sd =
+          std::sqrt(std::max(s2 / static_cast<double>(n) - mu * mu, 1e-8));
+      for (auto& r : rollouts) {
+        for (auto& a : r.advantages) {
+          a = static_cast<float>((a - mu) / sd);
+        }
+      }
+    }
+
+    for (int pe = 0; pe < cfg_.ppo_epochs; ++pe) {
+      // Shuffle rollout order, then walk minibatches.
+      std::vector<std::size_t> order(rollouts.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng_.shuffle(order);
+
+      for (std::size_t start = 0; start < order.size();
+           start += static_cast<std::size_t>(cfg_.minibatch)) {
+        const std::size_t end = std::min(
+            order.size(), start + static_cast<std::size_t>(cfg_.minibatch));
+        opt.zero_grad();
+        Tensor pol_sum, val_sum;
+        int n_tok = 0;
+        for (std::size_t oi = start; oi < end; ++oi) {
+          const Rollout& r = rollouts[order[oi]];
+          const int K = r.n_actions;
+          const std::vector<int> inputs(r.tokens.begin(), r.tokens.end() - 1);
+          const std::vector<int> actions(r.tokens.begin() + 1,
+                                         r.tokens.end());
+          Tensor hidden = policy_->forward_hidden(inputs, 1, K, true);
+          Tensor lsm = log_softmax_lastdim(policy_->lm_logits(hidden));
+          Tensor new_logp = gather_lastdim(lsm, actions);
+          Tensor old_logp = Tensor::from({K}, std::vector<float>(
+                                                  r.old_logp.begin(),
+                                                  r.old_logp.end()));
+          Tensor ratio = exp_t(sub(new_logp, old_logp));
+          Tensor adv = Tensor::from({K}, std::vector<float>(
+                                             r.advantages.begin(),
+                                             r.advantages.end()));
+          Tensor unclipped = mul(ratio, adv);
+          Tensor clipped =
+              mul(clamp_t(ratio, 1.0f - cfg_.clip_eps, 1.0f + cfg_.clip_eps),
+                  adv);
+          Tensor pol = sum_all(min_t(unclipped, clipped));
+          pol_sum = pol_sum.defined() ? add(pol_sum, pol) : pol;
+
+          Tensor v_new =
+              reshape(add(matmul(hidden, value_w_), value_b_), {K});
+          Tensor ret = Tensor::from({K}, std::vector<float>(
+                                             r.returns.begin(),
+                                             r.returns.end()));
+          Tensor vl = sum_all(square(sub(v_new, ret)));
+          val_sum = val_sum.defined() ? add(val_sum, vl) : vl;
+          n_tok += K;
+        }
+        if (!pol_sum.defined() || n_tok == 0) continue;
+        const float inv = 1.0f / static_cast<float>(n_tok);
+        Tensor l_policy = mul_scalar(pol_sum, inv);
+        Tensor l_value = mul_scalar(val_sum, 0.5f * inv);
+        // L_PPO = -L_policy + vc * L_value (Algorithm 1, line 8).
+        Tensor loss = add(neg(l_policy), mul_scalar(l_value, cfg_.vc));
+        loss.backward();
+        clip_grad_norm(params, cfg_.clip_grad);
+        opt.step();
+
+        stats.policy_loss.push_back(l_policy.item());
+        stats.value_loss.push_back(l_value.item());
+        stats.total_loss.push_back(loss.item());
+      }
+    }
+  }
+  return stats;
+}
+
+double PpoTrainer::evaluate_mean_reward(int n) {
+  nn::SampleOptions opts;
+  opts.temperature = cfg_.temperature;
+  opts.max_len = cfg_.max_len;
+  const auto samples = nn::sample_batch(*policy_, *tok_, rng_, n, opts);
+  double total = 0;
+  for (const auto& s : samples) total += rm_->reward(s.ids);
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}
+
+}  // namespace eva::rl

@@ -1,0 +1,587 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/validity.hpp"
+
+namespace eva::spice {
+
+using circuit::Device;
+using circuit::DeviceKind;
+using circuit::IoPin;
+using circuit::Netlist;
+
+namespace {
+
+// Technology-like constants for the behavioural device models.
+constexpr double kVthN = 0.5;
+constexpr double kVthP = 0.5;
+constexpr double kKpN = 2.0e-4;   // A/V^2 per W/L
+constexpr double kKpP = 8.0e-5;
+constexpr double kMosL = 1.0e-6;  // fixed channel length
+constexpr double kLambda = 0.1;
+constexpr double kDiodeIs = 1e-14;
+constexpr double kVt = 0.02585;
+constexpr double kBjtBeta = 100.0;
+constexpr double kBjtVa = 50.0;
+constexpr double kIndDcRes = 1.0;   // inductor DC series resistance
+constexpr double kSwitchOn = 2.0;   // converter-mode switch on-resistance
+constexpr double kSwitchOff = 1e8;  // ... off-resistance
+
+/// Current into the drain of an NMOS-like device plus its partials with
+/// respect to the gate/drain/source node voltages.
+struct MosEval {
+  double id = 0.0;
+  double gg = 0.0, gd = 0.0, gs = 0.0;
+};
+
+void nmos_core(double vgs, double vds, double k, double vth, double& id,
+               double& gm, double& go) {
+  const double vov = vgs - vth;
+  if (vov <= 0.0) {
+    id = 0.0;
+    gm = 0.0;
+    go = 0.0;
+    return;
+  }
+  if (vds < vov) {  // triode
+    id = k * (vov * vds - 0.5 * vds * vds) * (1.0 + kLambda * vds);
+    gm = k * vds * (1.0 + kLambda * vds);
+    go = k * (vov - vds) * (1.0 + kLambda * vds) +
+         k * (vov * vds - 0.5 * vds * vds) * kLambda;
+  } else {  // saturation
+    id = 0.5 * k * vov * vov * (1.0 + kLambda * vds);
+    gm = k * vov * (1.0 + kLambda * vds);
+    go = 0.5 * k * vov * vov * kLambda;
+  }
+}
+
+MosEval eval_nmos_like(double vg, double vd, double vs, double k, double vth) {
+  MosEval e;
+  if (vd >= vs) {
+    double id = 0, gm = 0, go = 0;
+    nmos_core(vg - vs, vd - vs, k, vth, id, gm, go);
+    e.id = id;
+    e.gg = gm;
+    e.gd = go;
+    e.gs = -(gm + go);
+  } else {
+    // Conduction with drain/source roles swapped.
+    double id = 0, gm = 0, go = 0;
+    nmos_core(vg - vd, vs - vd, k, vth, id, gm, go);
+    e.id = -id;
+    e.gg = -gm;
+    e.gd = gm + go;
+    e.gs = -go;
+  }
+  return e;
+}
+
+MosEval eval_mos(double vg, double vd, double vs, double width, bool pmos) {
+  const double wl = width / kMosL;
+  if (!pmos) return eval_nmos_like(vg, vd, vs, kKpN * wl, kVthN);
+  MosEval e = eval_nmos_like(-vg, -vd, -vs, kKpP * wl, kVthP);
+  e.id = -e.id;  // partials keep their sign (see DESIGN notes)
+  return e;
+}
+
+/// Diode current A->K and conductance, with exponent clamping.
+void eval_diode(double v, double area, double& id, double& g) {
+  const double x = std::clamp(v / kVt, -60.0, 40.0);
+  const double ex = std::exp(x);
+  id = kDiodeIs * area * (ex - 1.0);
+  g = kDiodeIs * area * ex / kVt;
+  if (x >= 40.0) {
+    // Linear continuation beyond the clamp keeps Newton bounded.
+    id += g * (v - 40.0 * kVt);
+  }
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& nl, const Sizing& sizing, SimOptions opts)
+    : nl_(&nl), opts_(opts) {
+  EVA_REQUIRE(sizing.value.size() == nl.devices().size(),
+              "sizing does not match netlist");
+
+  // Map nets to nodes. The net containing VSS is ground (-1).
+  const auto& nets = nl.nets();
+  std::vector<int> net_node(nets.size(), -1);
+  int ground = -1;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    for (const auto& p : nets[i]) {
+      if (p.is_io() && p.io == IoPin::Vss) {
+        ground = static_cast<int>(i);
+      }
+    }
+  }
+  EVA_REQUIRE(ground >= 0, "netlist has no VSS net");
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (static_cast<int>(i) == ground) continue;
+    net_node[i] = num_nodes_++;
+  }
+
+  // Bias plan: forced DC value per IO pin (priority order within a net:
+  // VDD > CLK > VB > VIN; IREF and VOUT are not voltage-forced).
+  auto forced_voltage = [&](const circuit::Net& net) -> std::optional<double> {
+    std::optional<double> v;
+    int prio = -1;
+    for (const auto& p : net) {
+      if (!p.is_io()) continue;
+      int pr = -1;
+      double val = 0.0;
+      switch (p.io) {
+        case IoPin::Vdd: pr = 3; val = opts_.vdd; break;
+        case IoPin::Clk1: pr = 2; val = opts_.vdd; break;
+        case IoPin::Clk2: pr = 2; val = 0.0; break;
+        case IoPin::Vb1: pr = 1; val = opts_.vb1; break;
+        case IoPin::Vb2: pr = 1; val = opts_.vb2; break;
+        case IoPin::Vin1:
+        case IoPin::Vin2: pr = 0; val = opts_.vcm; break;
+        default: break;
+      }
+      if (pr > prio) {
+        prio = pr;
+        v = val;
+      }
+    }
+    return v;
+  };
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const int node = net_node[i];
+    bool has_vin1 = false, has_vin2 = false, has_vout = false, has_iref = false;
+    bool has_vdd = false;
+    for (const auto& p : nets[i]) {
+      if (!p.is_io()) continue;
+      has_vin1 |= p.io == IoPin::Vin1;
+      has_vin2 |= p.io == IoPin::Vin2;
+      has_vout |= p.io == IoPin::Vout1 || p.io == IoPin::Vout2;
+      has_iref |= p.io == IoPin::Iref;
+      has_vdd |= p.io == IoPin::Vdd;
+    }
+    if (node < 0) continue;  // ground net: no sources
+    if (auto fv = forced_voltage(nets[i])) {
+      if (has_vdd) vdd_src_ = static_cast<int>(vsrcs_.size());
+      vsrcs_.push_back(VSource{node, *fv, {0.0, 0.0}});
+    }
+    if (has_vin1) in1_node_ = node;
+    if (has_vin2) in2_node_ = node;
+    if (has_vout) out_nodes_.push_back(node);
+    if (has_iref) {
+      // Direction heuristic: a reference net touching a PMOS is a
+      // PMOS-diode mirror input and must sink current; otherwise inject.
+      double sign = 1.0;
+      for (const auto& p : nets[i]) {
+        if (!p.is_io() &&
+            nl.devices()[static_cast<std::size_t>(p.device)].kind ==
+                DeviceKind::Pmos) {
+          sign = -1.0;
+        }
+      }
+      iref_nodes_.emplace_back(node, sign);
+    }
+  }
+  num_vsrc_ = static_cast<int>(vsrcs_.size());
+
+  // AC drive on the input sources.
+  for (auto& src : vsrcs_) {
+    if (src.node == in1_node_ && in1_node_ >= 0) {
+      src.ac = (in2_node_ >= 0 && in2_node_ != in1_node_)
+                   ? std::complex<double>{0.5, 0.0}
+                   : std::complex<double>{1.0, 0.0};
+    } else if (src.node == in2_node_ && in2_node_ >= 0 &&
+               in2_node_ != in1_node_) {
+      src.ac = {-0.5, 0.0};
+    }
+  }
+
+  // Device contexts.
+  devs_.reserve(nl.devices().size());
+  for (int d = 0; d < nl.num_devices(); ++d) {
+    const Device& dev = nl.devices()[static_cast<std::size_t>(d)];
+    DeviceCtx ctx;
+    ctx.kind = dev.kind;
+    ctx.size = sizing.value[static_cast<std::size_t>(d)];
+    for (int p = 0; p < pin_count(dev.kind); ++p) {
+      const auto net = nl.net_of(circuit::dev_ref(d, p));
+      EVA_REQUIRE(net.has_value(), "simulator requires all pins connected");
+      ctx.n[p] = net_node[static_cast<std::size_t>(*net)];
+    }
+    if (dev.kind == DeviceKind::Nmos || dev.kind == DeviceKind::Pmos) {
+      const auto gnet = nl.net_of(circuit::dev_ref(d, circuit::mos::G));
+      for (const auto& p : nets[static_cast<std::size_t>(*gnet)]) {
+        if (p.is_io() && (p.io == IoPin::Clk1 || p.io == IoPin::Clk2)) {
+          ctx.clk_gate = true;
+          ctx.clk_is_phase1 = p.io == IoPin::Clk1;
+        }
+      }
+    }
+    devs_.push_back(ctx);
+  }
+  v_.assign(static_cast<std::size_t>(num_nodes_ + num_vsrc_), 0.0);
+}
+
+void Simulator::stamp_dc(DenseMatrix<double>& a, std::vector<double>& rhs,
+                         const std::vector<double>& v,
+                         double source_scale) const {
+  const auto K = static_cast<std::size_t>(num_nodes_);
+  auto volt = [&](int n) { return n < 0 ? 0.0 : v[static_cast<std::size_t>(n)]; };
+  // Conductance between two nodes (either may be ground).
+  auto stamp_g = [&](int na, int nb, double g) {
+    if (na >= 0) a.at(static_cast<std::size_t>(na), static_cast<std::size_t>(na)) += g;
+    if (nb >= 0) a.at(static_cast<std::size_t>(nb), static_cast<std::size_t>(nb)) += g;
+    if (na >= 0 && nb >= 0) {
+      a.at(static_cast<std::size_t>(na), static_cast<std::size_t>(nb)) -= g;
+      a.at(static_cast<std::size_t>(nb), static_cast<std::size_t>(na)) -= g;
+    }
+  };
+  // Nonlinear current I flowing INTO node `into` and OUT of node `outof`,
+  // with partials w.r.t. arbitrary controlling nodes.
+  auto stamp_current = [&](int node, double current_into) {
+    if (node >= 0) rhs[static_cast<std::size_t>(node)] += current_into;
+  };
+  auto stamp_partial = [&](int row, int col, double g) {
+    if (row >= 0 && col >= 0) {
+      a.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += g;
+    }
+  };
+
+  // gmin from every node to ground.
+  for (std::size_t n = 0; n < K; ++n) a.at(n, n) += opts_.gmin;
+
+  for (const auto& d : devs_) {
+    switch (d.kind) {
+      case DeviceKind::Resistor:
+        stamp_g(d.n[0], d.n[1], 1.0 / std::max(d.size, 1e-3));
+        break;
+      case DeviceKind::Capacitor:
+        // Open at DC (gmin keeps the node anchored).
+        stamp_g(d.n[0], d.n[1], opts_.gmin);
+        break;
+      case DeviceKind::Inductor:
+        stamp_g(d.n[0], d.n[1], 1.0 / kIndDcRes);
+        break;
+      case DeviceKind::Diode: {
+        const double vv = volt(d.n[0]) - volt(d.n[1]);
+        double id = 0, g = 0;
+        eval_diode(vv, d.size, id, g);
+        stamp_g(d.n[0], d.n[1], g);
+        const double ieq = id - g * vv;  // companion current A->K
+        stamp_current(d.n[0], -ieq);
+        stamp_current(d.n[1], ieq);
+        break;
+      }
+      case DeviceKind::Nmos:
+      case DeviceKind::Pmos: {
+        if (opts_.converter_mode && d.clk_gate) {
+          const bool on = d.clk_is_phase1 == opts_.phase_a;
+          stamp_g(d.n[circuit::mos::D], d.n[circuit::mos::S],
+                  1.0 / (on ? kSwitchOn : kSwitchOff));
+          break;
+        }
+        const int ng = d.n[circuit::mos::G];
+        const int nd = d.n[circuit::mos::D];
+        const int ns = d.n[circuit::mos::S];
+        const MosEval e = eval_mos(volt(ng), volt(nd), volt(ns), d.size,
+                                   d.kind == DeviceKind::Pmos);
+        // Rows: current e.id into the device at D, out at S.
+        stamp_partial(nd, ng, e.gg);
+        stamp_partial(nd, nd, e.gd);
+        stamp_partial(nd, ns, e.gs);
+        stamp_partial(ns, ng, -e.gg);
+        stamp_partial(ns, nd, -e.gd);
+        stamp_partial(ns, ns, -e.gs);
+        const double ieq =
+            e.id - e.gg * volt(ng) - e.gd * volt(nd) - e.gs * volt(ns);
+        stamp_current(nd, -ieq);
+        stamp_current(ns, ieq);
+        // Small drain-source leak improves conditioning.
+        stamp_g(nd, ns, opts_.gmin);
+        break;
+      }
+      case DeviceKind::Npn:
+      case DeviceKind::Pnp: {
+        const bool pnp = d.kind == DeviceKind::Pnp;
+        const int nc = d.n[circuit::bjt::C];
+        const int nb = d.n[circuit::bjt::B];
+        const int ne = d.n[circuit::bjt::E];
+        const double sign = pnp ? -1.0 : 1.0;
+        const double vbe = sign * (volt(nb) - volt(ne));
+        const double vce = sign * (volt(nc) - volt(ne));
+        double ibe = 0, gbe = 0;
+        eval_diode(vbe, d.size / kBjtBeta, ibe, gbe);
+        const double early = 1.0 + std::max(vce, 0.0) / kBjtVa;
+        const double ic = kBjtBeta * ibe * early;
+        const double gm = kBjtBeta * gbe * early;
+        const double go = vce > 0.0 ? kBjtBeta * ibe / kBjtVa : opts_.gmin;
+        // NPN currents: IC into C, IB into B, -(IC+IB) into E. For PNP all
+        // currents and controlling voltages flip sign; partials w.r.t.
+        // node voltages keep their sign (double negation).
+        // Row C: ic = gm*vbe + go*vce (about the OP)
+        stamp_partial(nc, nb, gm);
+        stamp_partial(nc, ne, -gm - go);
+        stamp_partial(nc, nc, go);
+        // Row B: ibe = gbe*vbe
+        stamp_partial(nb, nb, gbe);
+        stamp_partial(nb, ne, -gbe);
+        // Row E: -(ic + ibe)
+        stamp_partial(ne, nb, -gm - gbe);
+        stamp_partial(ne, ne, gm + go + gbe);
+        stamp_partial(ne, nc, -go);
+        const double ic_eq =
+            sign * ic - gm * (volt(nb) - volt(ne)) - go * (volt(nc) - volt(ne));
+        const double ib_eq = sign * ibe - gbe * (volt(nb) - volt(ne));
+        stamp_current(nc, -ic_eq);
+        stamp_current(nb, -ib_eq);
+        stamp_current(ne, ic_eq + ib_eq);
+        break;
+      }
+    }
+  }
+
+  // Converter-mode resistive load on the first output.
+  if (opts_.converter_mode && !out_nodes_.empty()) {
+    stamp_g(out_nodes_.front(), -1, 1.0 / opts_.load_res);
+  }
+
+  // IREF current injection / sinking.
+  for (const auto& [n, sign] : iref_nodes_) {
+    stamp_current(n, sign * opts_.iref * source_scale);
+  }
+
+  // Voltage sources (branch unknowns after the node block).
+  for (std::size_t s = 0; s < vsrcs_.size(); ++s) {
+    const std::size_t br = K + s;
+    const int n = vsrcs_[s].node;
+    if (n >= 0) {
+      a.at(static_cast<std::size_t>(n), br) += 1.0;
+      a.at(br, static_cast<std::size_t>(n)) += 1.0;
+    }
+    rhs[br] = vsrcs_[s].dc * source_scale;
+  }
+}
+
+bool Simulator::newton(double source_scale) {
+  const auto total = static_cast<std::size_t>(num_nodes_ + num_vsrc_);
+  for (int iter = 0; iter < opts_.max_newton_iter; ++iter) {
+    DenseMatrix<double> a(total);
+    std::vector<double> rhs(total, 0.0);
+    stamp_dc(a, rhs, v_, source_scale);
+    std::vector<double> x = rhs;
+    if (!lu_solve(std::move(a), x)) return false;
+    double max_dv = 0.0;
+    for (std::size_t n = 0; n < static_cast<std::size_t>(num_nodes_); ++n) {
+      double dv = x[n] - v_[n];
+      max_dv = std::max(max_dv, std::abs(dv));
+      dv = std::clamp(dv, -opts_.max_step, opts_.max_step);
+      v_[n] += dv;
+    }
+    for (std::size_t b = static_cast<std::size_t>(num_nodes_); b < total; ++b) {
+      v_[b] = x[b];
+    }
+    if (max_dv < opts_.newton_tol) return true;
+  }
+  return false;
+}
+
+bool Simulator::solve_dc() {
+  dc_converged_ = false;
+  std::fill(v_.begin(), v_.end(), 0.0);
+  if (newton(1.0)) {
+    dc_converged_ = true;
+    return true;
+  }
+  // Source stepping: ramp supplies, reusing each solution as the guess.
+  std::fill(v_.begin(), v_.end(), 0.0);
+  for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+    if (!newton(scale)) return false;
+  }
+  dc_converged_ = true;
+  return true;
+}
+
+double Simulator::io_voltage(IoPin pin) const {
+  EVA_ASSERT(dc_converged_, "io_voltage requires a converged DC solve");
+  const auto& nets = nl_->nets();
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    for (const auto& p : nets[i]) {
+      if (p.is_io() && p.io == pin) {
+        // Re-derive node id: count non-ground nets before i.
+        int ground = -1;
+        for (std::size_t j = 0; j < nets.size(); ++j) {
+          for (const auto& q : nets[j]) {
+            if (q.is_io() && q.io == IoPin::Vss) ground = static_cast<int>(j);
+          }
+        }
+        if (static_cast<int>(i) == ground) return 0.0;
+        int node = 0;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (static_cast<int>(j) != ground) ++node;
+        }
+        return v_[static_cast<std::size_t>(node)];
+      }
+    }
+  }
+  return 0.0;
+}
+
+double Simulator::supply_power() const {
+  EVA_ASSERT(dc_converged_, "supply_power requires a converged DC solve");
+  double p = opts_.vdd * opts_.iref * static_cast<double>(iref_nodes_.size());
+  if (vdd_src_ >= 0) {
+    const double i =
+        v_[static_cast<std::size_t>(num_nodes_ + vdd_src_)];
+    p += std::abs(i) * opts_.vdd;
+  }
+  return p;
+}
+
+std::vector<AcPoint> Simulator::ac_sweep(double f_lo, double f_hi,
+                                         int points) const {
+  EVA_ASSERT(dc_converged_, "ac_sweep requires a converged DC solve");
+  EVA_REQUIRE(points >= 2 && f_hi > f_lo && f_lo > 0, "bad AC sweep range");
+  const auto K = static_cast<std::size_t>(num_nodes_);
+  const std::size_t total = K + vsrcs_.size();
+  const int out = out_nodes_.empty() ? -1 : out_nodes_.front();
+
+  auto volt = [&](int n) {
+    return n < 0 ? 0.0 : v_[static_cast<std::size_t>(n)];
+  };
+
+  std::vector<AcPoint> sweep;
+  sweep.reserve(static_cast<std::size_t>(points));
+  for (int pt = 0; pt < points; ++pt) {
+    const double f = f_lo * std::pow(f_hi / f_lo,
+                                     static_cast<double>(pt) /
+                                         static_cast<double>(points - 1));
+    const double w = 2.0 * 3.141592653589793 * f;
+    DenseMatrix<std::complex<double>> a(total);
+    std::vector<std::complex<double>> rhs(total, {0.0, 0.0});
+
+    auto stamp_y = [&](int na, int nb, std::complex<double> y) {
+      if (na >= 0) a.at(static_cast<std::size_t>(na), static_cast<std::size_t>(na)) += y;
+      if (nb >= 0) a.at(static_cast<std::size_t>(nb), static_cast<std::size_t>(nb)) += y;
+      if (na >= 0 && nb >= 0) {
+        a.at(static_cast<std::size_t>(na), static_cast<std::size_t>(nb)) -= y;
+        a.at(static_cast<std::size_t>(nb), static_cast<std::size_t>(na)) -= y;
+      }
+    };
+    auto stamp_partial = [&](int row, int col, double g) {
+      if (row >= 0 && col >= 0) {
+        a.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += g;
+      }
+    };
+
+    for (std::size_t n = 0; n < K; ++n) a.at(n, n) += opts_.gmin;
+
+    for (const auto& d : devs_) {
+      switch (d.kind) {
+        case DeviceKind::Resistor:
+          stamp_y(d.n[0], d.n[1], 1.0 / std::max(d.size, 1e-3));
+          break;
+        case DeviceKind::Capacitor:
+          stamp_y(d.n[0], d.n[1], std::complex<double>{0.0, w * d.size});
+          break;
+        case DeviceKind::Inductor:
+          stamp_y(d.n[0], d.n[1],
+                  1.0 / std::complex<double>{kIndDcRes, w * d.size});
+          break;
+        case DeviceKind::Diode: {
+          double id = 0, g = 0;
+          eval_diode(volt(d.n[0]) - volt(d.n[1]), d.size, id, g);
+          stamp_y(d.n[0], d.n[1], g);
+          break;
+        }
+        case DeviceKind::Nmos:
+        case DeviceKind::Pmos: {
+          if (opts_.converter_mode && d.clk_gate) {
+            const bool on = d.clk_is_phase1 == opts_.phase_a;
+            stamp_y(d.n[circuit::mos::D], d.n[circuit::mos::S],
+                    1.0 / (on ? kSwitchOn : kSwitchOff));
+            break;
+          }
+          const int ng = d.n[circuit::mos::G];
+          const int nd = d.n[circuit::mos::D];
+          const int ns = d.n[circuit::mos::S];
+          const MosEval e = eval_mos(volt(ng), volt(nd), volt(ns), d.size,
+                                     d.kind == DeviceKind::Pmos);
+          stamp_partial(nd, ng, e.gg);
+          stamp_partial(nd, nd, e.gd);
+          stamp_partial(nd, ns, e.gs);
+          stamp_partial(ns, ng, -e.gg);
+          stamp_partial(ns, nd, -e.gd);
+          stamp_partial(ns, ns, -e.gs);
+          break;
+        }
+        case DeviceKind::Npn:
+        case DeviceKind::Pnp: {
+          const bool pnp = d.kind == DeviceKind::Pnp;
+          const int nc = d.n[circuit::bjt::C];
+          const int nb = d.n[circuit::bjt::B];
+          const int ne = d.n[circuit::bjt::E];
+          const double sign = pnp ? -1.0 : 1.0;
+          const double vbe = sign * (volt(nb) - volt(ne));
+          const double vce = sign * (volt(nc) - volt(ne));
+          double ibe = 0, gbe = 0;
+          eval_diode(vbe, d.size / kBjtBeta, ibe, gbe);
+          const double early = 1.0 + std::max(vce, 0.0) / kBjtVa;
+          const double gm = kBjtBeta * gbe * early;
+          const double go =
+              vce > 0.0 ? kBjtBeta * ibe / kBjtVa : opts_.gmin;
+          stamp_partial(nc, nb, gm);
+          stamp_partial(nc, ne, -gm - go);
+          stamp_partial(nc, nc, go);
+          stamp_partial(nb, nb, gbe);
+          stamp_partial(nb, ne, -gbe);
+          stamp_partial(ne, nb, -gm - gbe);
+          stamp_partial(ne, ne, gm + go + gbe);
+          stamp_partial(ne, nc, -go);
+          break;
+        }
+      }
+    }
+
+    // Output load capacitance.
+    for (int n : out_nodes_) {
+      stamp_y(n, -1, std::complex<double>{0.0, w * opts_.load_cap});
+    }
+    if (opts_.converter_mode && !out_nodes_.empty()) {
+      stamp_y(out_nodes_.front(), -1, 1.0 / opts_.load_res);
+    }
+
+    for (std::size_t s = 0; s < vsrcs_.size(); ++s) {
+      const std::size_t br = K + s;
+      const int n = vsrcs_[s].node;
+      if (n >= 0) {
+        a.at(static_cast<std::size_t>(n), br) += 1.0;
+        a.at(br, static_cast<std::size_t>(n)) += 1.0;
+      }
+      rhs[br] = vsrcs_[s].ac;
+    }
+
+    std::vector<std::complex<double>> x = rhs;
+    AcPoint apt;
+    apt.freq_hz = f;
+    if (lu_solve(std::move(a), x) && out >= 0) {
+      apt.h = x[static_cast<std::size_t>(out)];
+    } else {
+      apt.h = {0.0, 0.0};
+    }
+    sweep.push_back(apt);
+  }
+  return sweep;
+}
+
+bool simulatable(const Netlist& nl) {
+  if (!circuit::structurally_valid(nl)) return false;
+  try {
+    Simulator sim(nl, default_sizing(nl));
+    return sim.solve_dc();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace eva::spice

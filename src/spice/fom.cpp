@@ -1,0 +1,119 @@
+#include "spice/fom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/validity.hpp"
+
+namespace eva::spice {
+
+using circuit::CircuitType;
+using circuit::Netlist;
+
+namespace {
+
+Performance eval_smallsignal(const Netlist& nl, const Sizing& sz,
+                             const SimOptions& base) {
+  Performance perf;
+  SimOptions opts = base;
+  opts.converter_mode = false;
+  try {
+    Simulator sim(nl, sz, opts);
+    if (!sim.solve_dc()) return perf;
+    perf.power_w = std::max(sim.supply_power(), 1e-9);
+    const auto sweep = sim.ac_sweep();
+    if (sweep.empty()) return perf;
+
+    const double a0 = std::abs(sweep.front().h);
+    if (!std::isfinite(a0) || a0 > 1e6) {
+      // A "gain" this large is a near-singular MNA artifact, not a
+      // credible small-signal result: reject rather than reward it.
+      return perf;
+    }
+    perf.gain = a0;
+    perf.gain_db = 20.0 * std::log10(std::max(a0, 1e-12));
+    // -3 dB bandwidth: first crossing below a0/sqrt(2).
+    const double bw_level = a0 / std::sqrt(2.0);
+    perf.bw_hz = sweep.back().freq_hz;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      if (std::abs(sweep[i].h) < bw_level) {
+        perf.bw_hz = sweep[i - 1].freq_hz;
+        break;
+      }
+    }
+    // Unity-gain frequency: first crossing below 1 (0 dB).
+    perf.ugbw_hz = 0.0;
+    if (a0 > 1.0) {
+      perf.ugbw_hz = sweep.back().freq_hz;
+      for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (std::abs(sweep[i].h) < 1.0) {
+          // Log interpolation between the two sweep points.
+          const double m0 = std::abs(sweep[i - 1].h);
+          const double m1 = std::abs(sweep[i].h);
+          const double t = std::log(m0) / std::max(std::log(m0 / m1), 1e-12);
+          perf.ugbw_hz = sweep[i - 1].freq_hz *
+                         std::pow(sweep[i].freq_hz / sweep[i - 1].freq_hz,
+                                  std::clamp(t, 0.0, 1.0));
+          break;
+        }
+      }
+    }
+    // FoM: gain * UGBW[MHz] / power[mW]; gain-only fallback keeps a weak
+    // signal for circuits that never reach unity gain.
+    const double ugbw_mhz = perf.ugbw_hz / 1e6;
+    const double p_mw = perf.power_w * 1e3;
+    perf.fom = perf.gain * std::max(ugbw_mhz, 1e-3) / std::max(p_mw, 1e-4);
+    perf.ok = true;
+  } catch (const Error&) {
+    perf.ok = false;
+  }
+  return perf;
+}
+
+Performance eval_converter(const Netlist& nl, const Sizing& sz,
+                           const SimOptions& base) {
+  Performance perf;
+  SimOptions opts = base;
+  opts.converter_mode = true;
+  try {
+    double vout_sum = 0.0;
+    double pin_sum = 0.0;
+    for (const bool phase_a : {true, false}) {
+      opts.phase_a = phase_a;
+      Simulator sim(nl, sz, opts);
+      if (!sim.solve_dc()) return perf;
+      vout_sum += sim.io_voltage(nl.uses_io(circuit::IoPin::Vout1)
+                                     ? circuit::IoPin::Vout1
+                                     : circuit::IoPin::Vout2);
+      pin_sum += sim.supply_power();
+    }
+    const double vout = vout_sum / 2.0;
+    const double pin = std::max(pin_sum / 2.0, 1e-12);
+    const double pout = vout * vout / opts.load_res;
+    perf.ratio = vout / opts.vdd;
+    perf.efficiency = std::clamp(pout / pin, 0.0, 1.0);
+    perf.power_w = pin;
+    perf.fom = std::abs(perf.ratio) * perf.efficiency * 4.0;
+    perf.ok = true;
+  } catch (const Error&) {
+    perf.ok = false;
+  }
+  return perf;
+}
+
+}  // namespace
+
+Performance evaluate(const Netlist& nl, const Sizing& sizing,
+                     CircuitType type, const SimOptions& base) {
+  if (!circuit::structurally_valid(nl)) return {};
+  if (type == CircuitType::PowerConverter) {
+    return eval_converter(nl, sizing, base);
+  }
+  return eval_smallsignal(nl, sizing, base);
+}
+
+Performance evaluate_default(const Netlist& nl, CircuitType type) {
+  return evaluate(nl, default_sizing(nl), type);
+}
+
+}  // namespace eva::spice

@@ -1,0 +1,44 @@
+// Figure-of-merit extraction (paper §IV-A, "Discovery efficiency").
+//
+// Op-Amps (and other small-signal types): FoM = A0 * UGBW[MHz] / P[mW],
+// the classic gain-bandwidth-per-power merit the paper's Op-Amp numbers
+// are consistent with (hundreds for simple OTAs, ~1e4 for optimized
+// multi-stage designs).
+//
+// Power converters: two-phase quasi-static averaged analysis; FoM =
+// |conversion ratio| * efficiency * 4, landing in the paper's 2-4 range
+// for reasonable converters (substitution documented in DESIGN.md §4).
+#pragma once
+
+#include "circuit/classify.hpp"
+#include "spice/engine.hpp"
+
+namespace eva::spice {
+
+/// Measured performance of one sized topology.
+struct Performance {
+  bool ok = false;        // simulation succeeded end to end
+  double fom = 0.0;       // scalar figure of merit (>= 0)
+  // Small-signal details (amplifier-like types):
+  double gain = 0.0;      // |H| at low frequency (linear)
+  double gain_db = 0.0;
+  double bw_hz = 0.0;     // -3 dB bandwidth
+  double ugbw_hz = 0.0;   // unity-gain frequency
+  double power_w = 0.0;
+  // Converter details:
+  double ratio = 0.0;       // Vout / Vdd (two-phase average)
+  double efficiency = 0.0;  // Pout / Pin
+};
+
+/// Evaluate a sized topology as circuit type `type`. Never throws on
+/// non-convergence — returns ok = false.
+[[nodiscard]] Performance evaluate(const circuit::Netlist& nl,
+                                   const Sizing& sizing,
+                                   circuit::CircuitType type,
+                                   const SimOptions& base = {});
+
+/// Evaluate with default sizing.
+[[nodiscard]] Performance evaluate_default(const circuit::Netlist& nl,
+                                           circuit::CircuitType type);
+
+}  // namespace eva::spice

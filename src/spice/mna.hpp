@@ -1,0 +1,89 @@
+// Dense linear algebra for modified nodal analysis (MNA).
+//
+// Circuits in this project are small (tens of nets), so a dense LU with
+// partial pivoting is the right tool — no sparse machinery needed. The
+// solver is templated over the scalar so the same code serves the real
+// Newton DC solve and the complex AC solve.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace eva::spice {
+
+/// Dense square matrix with row-major storage.
+template <typename Scalar>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), a_(n * n, Scalar{}) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  Scalar& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  [[nodiscard]] const Scalar& at(std::size_t r, std::size_t c) const {
+    return a_[r * n_ + c];
+  }
+  void clear() { std::fill(a_.begin(), a_.end(), Scalar{}); }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Scalar> a_;
+};
+
+namespace detail {
+inline double magnitude(double x) { return std::abs(x); }
+inline double magnitude(const std::complex<double>& x) { return std::abs(x); }
+}  // namespace detail
+
+/// Solve A x = b in place via LU with partial pivoting.
+/// Returns false if the matrix is numerically singular.
+template <typename Scalar>
+[[nodiscard]] bool lu_solve(DenseMatrix<Scalar> a, std::vector<Scalar>& b) {
+  const std::size_t n = a.size();
+  EVA_ASSERT(b.size() == n, "lu_solve dimension mismatch");
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot selection.
+    std::size_t pivot = col;
+    double best = detail::magnitude(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = detail::magnitude(a.at(r, col));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-18) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    const Scalar inv = Scalar{1} / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Scalar f = a.at(r, col) * inv;
+      if (f == Scalar{}) continue;
+      a.at(r, col) = Scalar{};
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a.at(r, c) -= f * a.at(col, c);
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    Scalar acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * b[c];
+    b[ri] = acc / a.at(ri, ri);
+  }
+  return true;
+}
+
+}  // namespace eva::spice

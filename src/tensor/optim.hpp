@@ -1,0 +1,63 @@
+// Gradient-descent optimizers over parameter lists, plus global-norm
+// gradient clipping. Used by LM pretraining, reward-model training, PPO
+// and DPO fine-tuning.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace eva::tensor {
+
+/// Zero the gradient buffers of every parameter.
+void zero_grads(std::vector<Tensor>& params);
+
+/// Clip gradients so the global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::vector<Tensor>& params, double max_norm);
+
+/// Plain SGD with optional momentum.
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void step();
+  void zero_grad() { zero_grads(params_); }
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+/// AdamW (decoupled weight decay), the paper-standard transformer optimizer.
+class AdamW {
+ public:
+  struct Config {
+    float lr = 3e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  AdamW(std::vector<Tensor> params, Config cfg);
+
+  void step();
+  void zero_grad() { zero_grads(params_); }
+  void set_lr(float lr) { cfg_.lr = lr; }
+  [[nodiscard]] float lr() const { return cfg_.lr; }
+  [[nodiscard]] long steps_taken() const { return t_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  Config cfg_;
+  long t_ = 0;
+};
+
+}  // namespace eva::tensor

@@ -1,0 +1,83 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace eva::tensor {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x45564131;  // "EVA1"
+}
+
+void save_params(const std::vector<Tensor>& params, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open checkpoint for writing: " + path);
+  const std::uint32_t magic = kMagic;
+  const auto count = static_cast<std::uint32_t>(params.size());
+  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const auto rank = static_cast<std::uint32_t>(p.shape().size());
+    f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : p.shape()) {
+      const auto dd = static_cast<std::uint32_t>(d);
+      f.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+    }
+    auto data = p.data();
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!f) throw ConfigError("write failed for checkpoint: " + path);
+}
+
+void load_params(std::vector<Tensor>& params, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open checkpoint for reading: " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f || magic != kMagic) {
+    throw ConfigError("bad checkpoint header: " + path);
+  }
+  if (count != params.size()) {
+    throw ConfigError("checkpoint parameter count mismatch: " + path);
+  }
+  for (auto& p : params) {
+    std::uint32_t rank = 0;
+    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!f || rank != p.shape().size()) {
+      throw ConfigError("checkpoint rank mismatch: " + path);
+    }
+    for (int d : p.shape()) {
+      std::uint32_t dd = 0;
+      f.read(reinterpret_cast<char*>(&dd), sizeof(dd));
+      if (!f || dd != static_cast<std::uint32_t>(d)) {
+        throw ConfigError("checkpoint shape mismatch: " + path);
+      }
+    }
+    auto data = p.data();
+    f.read(reinterpret_cast<char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!f) throw ConfigError("checkpoint payload truncated: " + path);
+  }
+}
+
+void copy_params(const std::vector<Tensor>& src, std::vector<Tensor>& dst) {
+  EVA_REQUIRE(src.size() == dst.size(), "copy_params count mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EVA_REQUIRE(src[i].numel() == dst[i].numel(),
+                "copy_params shape mismatch");
+    auto s = src[i].data();
+    auto d = dst[i].data();
+    std::copy(s.begin(), s.end(), d.begin());
+  }
+}
+
+std::size_t count_params(const std::vector<Tensor>& params) {
+  std::size_t n = 0;
+  for (const auto& p : params) n += p.numel();
+  return n;
+}
+
+}  // namespace eva::tensor

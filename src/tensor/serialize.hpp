@@ -1,0 +1,27 @@
+// Binary (de)serialization of parameter lists: a simple tagged format
+// (magic, count, then shape + float32 payload per tensor). Used to
+// checkpoint pretrained models before PPO/DPO fine-tuning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace eva::tensor {
+
+/// Save parameter tensors in order. Throws eva::ConfigError on I/O failure.
+void save_params(const std::vector<Tensor>& params, const std::string& path);
+
+/// Load into existing tensors (shapes must match the file).
+/// Throws eva::ConfigError on I/O failure or shape mismatch.
+void load_params(std::vector<Tensor>& params, const std::string& path);
+
+/// Deep-copy parameter values from src into dst (shapes must match).
+/// Used to snapshot a reference model πθ_ref before fine-tuning.
+void copy_params(const std::vector<Tensor>& src, std::vector<Tensor>& dst);
+
+/// Total number of scalar parameters.
+[[nodiscard]] std::size_t count_params(const std::vector<Tensor>& params);
+
+}  // namespace eva::tensor

@@ -1,0 +1,1180 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/parallel.hpp"
+
+namespace eva::tensor {
+
+using detail::Node;
+
+// ---------------------------------------------------------------------------
+// Shape helpers
+// ---------------------------------------------------------------------------
+
+std::size_t shape_numel(const Shape& s) {
+  std::size_t n = 1;
+  for (int d : s) {
+    EVA_ASSERT(d > 0, "shape dims must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ',';
+    os << s[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+bool same_shape(const Shape& a, const Shape& b) { return a == b; }
+
+bool is_suffix(const Shape& suffix, const Shape& full) {
+  if (suffix.size() > full.size()) return false;
+  return std::equal(suffix.rbegin(), suffix.rend(), full.rbegin());
+}
+
+// ---------------------------------------------------------------------------
+// Tensor basics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> data,
+                                bool requires_grad) {
+  EVA_ASSERT(shape_numel(shape) == data.size(), "data size / shape mismatch");
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->data = std::move(data);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+std::shared_ptr<Node> make_result(Shape shape, const char* op,
+                                  std::vector<std::shared_ptr<Node>> parents) {
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->data.assign(shape_numel(n->shape), 0.0f);
+  n->op = op;
+  bool rg = false;
+  for (const auto& p : parents) rg = rg || p->requires_grad;
+  n->requires_grad = rg;
+  if (rg) n->parents = std::move(parents);
+  return n;
+}
+
+}  // namespace
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  const std::size_t n = shape_numel(shape);
+  return Tensor{make_leaf(std::move(shape), std::vector<float>(n, 0.0f),
+                          requires_grad)};
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  const std::size_t n = shape_numel(shape);
+  return Tensor{make_leaf(std::move(shape), std::vector<float>(n, value),
+                          requires_grad)};
+}
+
+Tensor Tensor::from(Shape shape, std::vector<float> data, bool requires_grad) {
+  return Tensor{make_leaf(std::move(shape), std::move(data), requires_grad)};
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  const std::size_t n = shape_numel(shape);
+  std::vector<float> data(n);
+  for (auto& v : data) v = static_cast<float>(rng.normal()) * stddev;
+  return Tensor{make_leaf(std::move(shape), std::move(data), requires_grad)};
+}
+
+Tensor Tensor::scalar(float v, bool requires_grad) {
+  return from({1}, {v}, requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  return node_->shape;
+}
+
+int Tensor::dim(int i) const {
+  const auto& s = shape();
+  if (i < 0) i += static_cast<int>(s.size());
+  EVA_ASSERT(i >= 0 && i < static_cast<int>(s.size()), "dim index out of range");
+  return s[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::numel() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  return node_->numel();
+}
+
+bool Tensor::requires_grad() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  return node_->requires_grad;
+}
+
+std::span<float> Tensor::data() {
+  EVA_ASSERT(node_, "undefined tensor");
+  return node_->data;
+}
+
+std::span<const float> Tensor::data() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  return node_->data;
+}
+
+std::span<float> Tensor::grad() {
+  EVA_ASSERT(node_, "undefined tensor");
+  node_->ensure_grad();
+  return node_->grad;
+}
+
+std::span<const float> Tensor::grad() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  const_cast<Node*>(node_.get())->ensure_grad();
+  return node_->grad;
+}
+
+float Tensor::item() const {
+  EVA_ASSERT(numel() == 1, "item() requires a single-element tensor");
+  return node_->data[0];
+}
+
+void Tensor::zero_grad() {
+  EVA_ASSERT(node_, "undefined tensor");
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::detach() const {
+  EVA_ASSERT(node_, "undefined tensor");
+  return from(node_->shape, node_->data, false);
+}
+
+void Tensor::backward() {
+  EVA_ASSERT(node_, "undefined tensor");
+  EVA_ASSERT(numel() == 1, "backward() must start from a scalar");
+  EVA_ASSERT(node_->requires_grad, "backward() on non-grad tensor");
+
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad();
+  node_->grad[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward) {
+      for (const auto& p : n->parents) {
+        if (p->requires_grad) p->ensure_grad();
+      }
+      n->backward(*n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops with suffix broadcast
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class BinKind { Add, Sub, Mul };
+
+Tensor binary_op(const Tensor& a, const Tensor& b, BinKind kind,
+                 const char* name) {
+  auto an = a.node();
+  auto bn = b.node();
+  EVA_ASSERT(an && bn, "undefined operand");
+  const bool scalar_b = bn->numel() == 1;
+  EVA_REQUIRE(same_shape(an->shape, bn->shape) || scalar_b ||
+                  is_suffix(bn->shape, an->shape),
+              std::string(name) + ": incompatible shapes " +
+                  shape_str(an->shape) + " vs " + shape_str(bn->shape));
+
+  auto out = make_result(an->shape, name, {an, bn});
+  const std::size_t n = out->numel();
+  const std::size_t bsz = bn->numel();
+  const float* pa = an->data.data();
+  const float* pb = bn->data.data();
+  float* po = out->data.data();
+  parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    switch (kind) {
+      case BinKind::Add:
+        for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i % bsz];
+        break;
+      case BinKind::Sub:
+        for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i % bsz];
+        break;
+      case BinKind::Mul:
+        for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i % bsz];
+        break;
+    }
+  });
+
+  if (out->requires_grad) {
+    out->backward = [an, bn, kind, n, bsz](Node& self) {
+      const float* g = self.grad.data();
+      if (an->requires_grad) {
+        float* ga = an->grad.data();
+        const float* pb2 = bn->data.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          switch (kind) {
+            case BinKind::Add:
+            case BinKind::Sub:
+              ga[i] += g[i];
+              break;
+            case BinKind::Mul:
+              ga[i] += g[i] * pb2[i % bsz];
+              break;
+          }
+        }
+      }
+      if (bn->requires_grad) {
+        float* gb = bn->grad.data();
+        const float* pa2 = an->data.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          switch (kind) {
+            case BinKind::Add:
+              gb[i % bsz] += g[i];
+              break;
+            case BinKind::Sub:
+              gb[i % bsz] -= g[i];
+              break;
+            case BinKind::Mul:
+              gb[i % bsz] += g[i] * pa2[i];
+              break;
+          }
+        }
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, BinKind::Add, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, BinKind::Sub, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, BinKind::Mul, "mul");
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  auto an = a.node();
+  auto out = make_result(an->shape, "add_scalar", {an});
+  for (std::size_t i = 0; i < out->numel(); ++i) out->data[i] = an->data[i] + s;
+  if (out->requires_grad) {
+    out->backward = [an](Node& self) {
+      for (std::size_t i = 0; i < self.numel(); ++i) {
+        an->grad[i] += self.grad[i];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  auto an = a.node();
+  auto out = make_result(an->shape, "mul_scalar", {an});
+  for (std::size_t i = 0; i < out->numel(); ++i) out->data[i] = an->data[i] * s;
+  if (out->requires_grad) {
+    out->backward = [an, s](Node& self) {
+      for (std::size_t i = 0; i < self.numel(); ++i) {
+        an->grad[i] += self.grad[i] * s;
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+// ---------------------------------------------------------------------------
+// Unary ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Generic unary op: fwd computes y from x; dfd computes dy/dx from (x, y).
+template <typename F, typename G>
+Tensor unary_op(const Tensor& a, const char* name, F fwd, G dfd) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  auto out = make_result(an->shape, name, {an});
+  const std::size_t n = out->numel();
+  const float* px = an->data.data();
+  float* py = out->data.data();
+  parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) py[i] = fwd(px[i]);
+  });
+  if (out->requires_grad) {
+    out->backward = [an, dfd, n](Node& self) {
+      const float* x = an->data.data();
+      const float* y = self.data.data();
+      const float* g = self.grad.data();
+      float* gx = an->grad.data();
+      for (std::size_t i = 0; i < n; ++i) gx[i] += g[i] * dfd(x[i], y[i]);
+    };
+  }
+  return Tensor{out};
+}
+
+}  // namespace
+
+Tensor neg(const Tensor& a) {
+  return unary_op(
+      a, "neg", [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary_op(
+      a, "exp", [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor log_t(const Tensor& a) {
+  return unary_op(
+      a, "log",
+      [](float x) {
+        EVA_ASSERT(x > 0.0f, "log of non-positive value");
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_op(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, "sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return unary_op(
+      a, "gelu",
+      [](float x) {
+        const float u = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(u));
+      },
+      [](float x, float) {
+        const float u = kC * (x + kA * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * kA * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      a, "square", [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor clamp_t(const Tensor& a, float lo, float hi) {
+  EVA_REQUIRE(lo <= hi, "clamp_t: lo must be <= hi");
+  return unary_op(
+      a, "clamp",
+      [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float) {
+        return (x >= lo && x <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Tensor min_t(const Tensor& a, const Tensor& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  EVA_ASSERT(an && bn, "undefined operand");
+  EVA_REQUIRE(same_shape(an->shape, bn->shape), "min_t: shape mismatch");
+  auto out = make_result(an->shape, "min", {an, bn});
+  const std::size_t n = out->numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    out->data[i] = std::min(an->data[i], bn->data[i]);
+  }
+  if (out->requires_grad) {
+    out->backward = [an, bn, n](Node& self) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool a_small = an->data[i] <= bn->data[i];
+        if (a_small && an->requires_grad) an->grad[i] += self.grad[i];
+        if (!a_small && bn->requires_grad) bn->grad[i] += self.grad[i];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+// ---------------------------------------------------------------------------
+// Matmul kernels (serial over a row range; callers parallelize rows)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// C[m,:] += A[m,:] @ B  for m in [m0,m1); A:(M,K) B:(K,N) C:(M,N)
+void mm_nn_rows(const float* A, const float* B, float* C, std::size_t m0,
+                std::size_t m1, std::size_t K, std::size_t N) {
+  for (std::size_t m = m0; m < m1; ++m) {
+    const float* a = A + m * K;
+    float* c = C + m * N;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = a[k];
+      if (av == 0.0f) continue;
+      const float* b = B + k * N;
+      for (std::size_t n = 0; n < N; ++n) c[n] += av * b[n];
+    }
+  }
+}
+
+// C[m,:] += A[m,:] @ B^T  for m in [m0,m1); A:(M,K) B:(N,K) C:(M,N)
+void mm_nt_rows(const float* A, const float* B, float* C, std::size_t m0,
+                std::size_t m1, std::size_t K, std::size_t N) {
+  for (std::size_t m = m0; m < m1; ++m) {
+    const float* a = A + m * K;
+    float* c = C + m * N;
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* b = B + n * K;
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < K; ++k) acc += a[k] * b[k];
+      c[n] += acc;
+    }
+  }
+}
+
+// C += A^T @ B over k-range; A:(K,M) B:(K,N) C:(M,N). Serial (accumulates
+// into shared C), callers must not parallelize over k.
+void mm_tn_full(const float* A, const float* B, float* C, std::size_t K,
+                std::size_t M, std::size_t N) {
+  for (std::size_t k = 0; k < K; ++k) {
+    const float* a = A + k * M;
+    const float* b = B + k * N;
+    for (std::size_t m = 0; m < M; ++m) {
+      const float av = a[m];
+      if (av == 0.0f) continue;
+      float* c = C + m * N;
+      for (std::size_t n = 0; n < N; ++n) c[n] += av * b[n];
+    }
+  }
+}
+
+void mm_nn_parallel(const float* A, const float* B, float* C, std::size_t M,
+                    std::size_t K, std::size_t N) {
+  parallel_chunks(
+      0, M,
+      [&](std::size_t lo, std::size_t hi) { mm_nn_rows(A, B, C, lo, hi, K, N); },
+      8);
+}
+
+void mm_nt_parallel(const float* A, const float* B, float* C, std::size_t M,
+                    std::size_t K, std::size_t N) {
+  parallel_chunks(
+      0, M,
+      [&](std::size_t lo, std::size_t hi) { mm_nt_rows(A, B, C, lo, hi, K, N); },
+      8);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  EVA_ASSERT(an && bn, "undefined operand");
+  const Shape& sa = an->shape;
+  const Shape& sb = bn->shape;
+
+  if (sa.size() == 2 && sb.size() == 2) {
+    EVA_REQUIRE(sa[1] == sb[0], "matmul inner dims mismatch");
+    const auto M = static_cast<std::size_t>(sa[0]);
+    const auto K = static_cast<std::size_t>(sa[1]);
+    const auto N = static_cast<std::size_t>(sb[1]);
+    auto out = make_result({sa[0], sb[1]}, "matmul", {an, bn});
+    mm_nn_parallel(an->data.data(), bn->data.data(), out->data.data(), M, K, N);
+    if (out->requires_grad) {
+      out->backward = [an, bn, M, K, N](Node& self) {
+        if (an->requires_grad) {
+          mm_nt_parallel(self.grad.data(), bn->data.data(), an->grad.data(), M,
+                         N, K);
+        }
+        if (bn->requires_grad) {
+          mm_tn_full(an->data.data(), self.grad.data(), bn->grad.data(), M, K,
+                     N);
+        }
+      };
+    }
+    return Tensor{out};
+  }
+
+  if (sa.size() == 3 && sb.size() == 2) {
+    // Fold (B,M,K) to (B*M,K): same math, one kernel call.
+    EVA_REQUIRE(sa[2] == sb[0], "matmul inner dims mismatch");
+    const auto B = static_cast<std::size_t>(sa[0]);
+    const auto M = static_cast<std::size_t>(sa[1]);
+    const auto K = static_cast<std::size_t>(sa[2]);
+    const auto N = static_cast<std::size_t>(sb[1]);
+    auto out = make_result({sa[0], sa[1], sb[1]}, "matmul", {an, bn});
+    mm_nn_parallel(an->data.data(), bn->data.data(), out->data.data(), B * M, K,
+                   N);
+    if (out->requires_grad) {
+      out->backward = [an, bn, B, M, K, N](Node& self) {
+        if (an->requires_grad) {
+          mm_nt_parallel(self.grad.data(), bn->data.data(), an->grad.data(),
+                         B * M, N, K);
+        }
+        if (bn->requires_grad) {
+          mm_tn_full(an->data.data(), self.grad.data(), bn->grad.data(), B * M,
+                     K, N);
+        }
+      };
+    }
+    return Tensor{out};
+  }
+
+  if (sa.size() == 3 && sb.size() == 3) {
+    EVA_REQUIRE(sa[0] == sb[0], "batched matmul batch mismatch");
+    EVA_REQUIRE(sa[2] == sb[1], "matmul inner dims mismatch");
+    const auto B = static_cast<std::size_t>(sa[0]);
+    const auto M = static_cast<std::size_t>(sa[1]);
+    const auto K = static_cast<std::size_t>(sa[2]);
+    const auto N = static_cast<std::size_t>(sb[2]);
+    auto out = make_result({sa[0], sa[1], sb[2]}, "bmm", {an, bn});
+    const float* pa = an->data.data();
+    const float* pb = bn->data.data();
+    float* pc = out->data.data();
+    // Parallelize over flattened (batch, row) space.
+    parallel_chunks(
+        0, B * M,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            const std::size_t batch = r / M;
+            const std::size_t m = r % M;
+            mm_nn_rows(pa + batch * M * K, pb + batch * K * N, pc + batch * M * N,
+                       m, m + 1, K, N);
+          }
+        },
+        8);
+    if (out->requires_grad) {
+      out->backward = [an, bn, B, M, K, N](Node& self) {
+        const float* g = self.grad.data();
+        if (an->requires_grad) {
+          float* ga = an->grad.data();
+          const float* pb2 = bn->data.data();
+          parallel_chunks(
+              0, B * M,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t r = lo; r < hi; ++r) {
+                  const std::size_t batch = r / M;
+                  const std::size_t m = r % M;
+                  mm_nt_rows(g + batch * M * N, pb2 + batch * K * N,
+                             ga + batch * M * K, m, m + 1, N, K);
+                }
+              },
+              8);
+        }
+        if (bn->requires_grad) {
+          float* gb = bn->grad.data();
+          const float* pa2 = an->data.data();
+          parallel_for(0, B, [&](std::size_t batch) {
+            mm_tn_full(pa2 + batch * M * K, g + batch * M * N,
+                       gb + batch * K * N, M, K, N);
+          });
+        }
+      };
+    }
+    return Tensor{out};
+  }
+
+  throw Error("matmul: unsupported ranks " + shape_str(sa) + " x " +
+              shape_str(sb));
+}
+
+Tensor transpose_last(const Tensor& a) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  EVA_REQUIRE(s.size() >= 2, "transpose_last needs rank >= 2");
+  Shape so = s;
+  std::swap(so[so.size() - 1], so[so.size() - 2]);
+  const auto R = static_cast<std::size_t>(s[s.size() - 2]);
+  const auto C = static_cast<std::size_t>(s[s.size() - 1]);
+  const std::size_t mats = an->numel() / (R * C);
+  auto out = make_result(so, "transpose", {an});
+  const float* px = an->data.data();
+  float* py = out->data.data();
+  for (std::size_t b = 0; b < mats; ++b) {
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        py[b * R * C + c * R + r] = px[b * R * C + r * C + c];
+      }
+    }
+  }
+  if (out->requires_grad) {
+    out->backward = [an, mats, R, C](Node& self) {
+      const float* g = self.grad.data();
+      float* gx = an->grad.data();
+      for (std::size_t b = 0; b < mats; ++b) {
+        for (std::size_t r = 0; r < R; ++r) {
+          for (std::size_t c = 0; c < C; ++c) {
+            gx[b * R * C + r * C + c] += g[b * R * C + c * R + r];
+          }
+        }
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  EVA_REQUIRE(shape_numel(shape) == an->numel(), "reshape numel mismatch");
+  auto out = make_result(std::move(shape), "reshape", {an});
+  out->data = an->data;
+  if (out->requires_grad) {
+    out->backward = [an](Node& self) {
+      for (std::size_t i = 0; i < self.numel(); ++i) {
+        an->grad[i] += self.grad[i];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+namespace {
+
+// Index map between (B,T,H,D) packed as (B,T,H*D) and (B*H,T,D).
+void heads_copy(const float* src, float* dst, std::size_t B, std::size_t T,
+                std::size_t H, std::size_t D, bool splitting) {
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t h = 0; h < H; ++h) {
+        const std::size_t merged = ((b * T + t) * H + h) * D;
+        const std::size_t split = ((b * H + h) * T + t) * D;
+        const float* s = src + (splitting ? merged : split);
+        float* d = dst + (splitting ? split : merged);
+        for (std::size_t k = 0; k < D; ++k) d[k] = s[k];
+      }
+    }
+  }
+}
+
+void heads_accum(const float* src, float* dst, std::size_t B, std::size_t T,
+                 std::size_t H, std::size_t D, bool splitting) {
+  // Backward of heads_copy: accumulate through the inverse index map.
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t h = 0; h < H; ++h) {
+        const std::size_t merged = ((b * T + t) * H + h) * D;
+        const std::size_t split = ((b * H + h) * T + t) * D;
+        const float* s = src + (splitting ? split : merged);
+        float* d = dst + (splitting ? merged : split);
+        for (std::size_t k = 0; k < D; ++k) d[k] += s[k];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor split_heads(const Tensor& a, int heads) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  EVA_REQUIRE(s.size() == 3, "split_heads needs (B,T,C)");
+  EVA_REQUIRE(s[2] % heads == 0, "channels not divisible by heads");
+  const auto B = static_cast<std::size_t>(s[0]);
+  const auto T = static_cast<std::size_t>(s[1]);
+  const auto H = static_cast<std::size_t>(heads);
+  const auto D = static_cast<std::size_t>(s[2] / heads);
+  auto out = make_result({s[0] * heads, s[1], s[2] / heads}, "split_heads", {an});
+  heads_copy(an->data.data(), out->data.data(), B, T, H, D, true);
+  if (out->requires_grad) {
+    out->backward = [an, B, T, H, D](Node& self) {
+      heads_accum(self.grad.data(), an->grad.data(), B, T, H, D, true);
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor merge_heads(const Tensor& a, int heads) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  EVA_REQUIRE(s.size() == 3, "merge_heads needs (B*H,T,D)");
+  EVA_REQUIRE(s[0] % heads == 0, "batch not divisible by heads");
+  const auto B = static_cast<std::size_t>(s[0] / heads);
+  const auto T = static_cast<std::size_t>(s[1]);
+  const auto H = static_cast<std::size_t>(heads);
+  const auto D = static_cast<std::size_t>(s[2]);
+  auto out =
+      make_result({s[0] / heads, s[1], s[2] * heads}, "merge_heads", {an});
+  heads_copy(an->data.data(), out->data.data(), B, T, H, D, false);
+  if (out->requires_grad) {
+    out->backward = [an, B, T, H, D](Node& self) {
+      heads_accum(self.grad.data(), an->grad.data(), B, T, H, D, false);
+    };
+  }
+  return Tensor{out};
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor sum_all(const Tensor& a) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  auto out = make_result({1}, "sum", {an});
+  double acc = 0.0;
+  for (float v : an->data) acc += v;
+  out->data[0] = static_cast<float>(acc);
+  if (out->requires_grad) {
+    out->backward = [an](Node& self) {
+      const float g = self.grad[0];
+      for (auto& gv : an->grad) gv += g;
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor mean_all(const Tensor& a) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  auto out = make_result({1}, "mean", {an});
+  double acc = 0.0;
+  for (float v : an->data) acc += v;
+  const auto n = static_cast<float>(an->numel());
+  out->data[0] = static_cast<float>(acc) / n;
+  if (out->requires_grad) {
+    out->backward = [an, n](Node& self) {
+      const float g = self.grad[0] / n;
+      for (auto& gv : an->grad) gv += g;
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor masked_mean(const Tensor& a, const std::vector<float>& mask) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  EVA_REQUIRE(mask.size() == an->numel(), "masked_mean mask size mismatch");
+  double msum = 0.0;
+  for (float m : mask) msum += m;
+  const float denom = msum > 0.0 ? static_cast<float>(msum) : 1.0f;
+  auto out = make_result({1}, "masked_mean", {an});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < an->numel(); ++i) acc += an->data[i] * mask[i];
+  out->data[0] = static_cast<float>(acc) / denom;
+  if (out->requires_grad) {
+    out->backward = [an, mask, denom](Node& self) {
+      const float g = self.grad[0] / denom;
+      for (std::size_t i = 0; i < an->numel(); ++i) {
+        an->grad[i] += g * mask[i];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+// ---------------------------------------------------------------------------
+// Fused NN ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared softmax forward over independent rows with per-row valid length.
+// valid_len(r) gives the number of leading entries that participate; the
+// rest get probability 0.
+template <typename ValidFn>
+void softmax_rows(const float* x, float* y, std::size_t rows, std::size_t cols,
+                  ValidFn valid_len) {
+  parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t v = valid_len(r);
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::size_t c = 0; c < v; ++c) mx = std::max(mx, xr[c]);
+      float z = 0.0f;
+      for (std::size_t c = 0; c < v; ++c) {
+        yr[c] = std::exp(xr[c] - mx);
+        z += yr[c];
+      }
+      const float inv = 1.0f / z;
+      for (std::size_t c = 0; c < v; ++c) yr[c] *= inv;
+      for (std::size_t c = v; c < cols; ++c) yr[c] = 0.0f;
+    }
+  });
+}
+
+template <typename ValidFn>
+void softmax_backward_rows(const float* y, const float* g, float* gx,
+                           std::size_t rows, std::size_t cols,
+                           ValidFn valid_len) {
+  parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t v = valid_len(r);
+      const float* yr = y + r * cols;
+      const float* gr = g + r * cols;
+      float* gxr = gx + r * cols;
+      float dot = 0.0f;
+      for (std::size_t c = 0; c < v; ++c) dot += yr[c] * gr[c];
+      for (std::size_t c = 0; c < v; ++c) gxr[c] += yr[c] * (gr[c] - dot);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor softmax_lastdim(const Tensor& a) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  const auto cols = static_cast<std::size_t>(s.back());
+  const std::size_t rows = an->numel() / cols;
+  auto out = make_result(s, "softmax", {an});
+  softmax_rows(an->data.data(), out->data.data(), rows, cols,
+               [cols](std::size_t) { return cols; });
+  if (out->requires_grad) {
+    out->backward = [an, rows, cols](Node& self) {
+      softmax_backward_rows(self.data.data(), self.grad.data(),
+                            an->grad.data(), rows, cols,
+                            [cols](std::size_t) { return cols; });
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor causal_softmax(const Tensor& scores, int seq_len) {
+  auto an = scores.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  const auto cols = static_cast<std::size_t>(s.back());
+  EVA_REQUIRE(cols == static_cast<std::size_t>(seq_len),
+              "causal_softmax last dim must equal seq_len");
+  const std::size_t rows = an->numel() / cols;
+  EVA_REQUIRE(rows % cols == 0,
+              "causal_softmax rows must be a multiple of seq_len");
+  const auto T = static_cast<std::size_t>(seq_len);
+  auto valid = [T](std::size_t r) { return (r % T) + 1; };
+  auto out = make_result(s, "causal_softmax", {an});
+  softmax_rows(an->data.data(), out->data.data(), rows, cols, valid);
+  if (out->requires_grad) {
+    out->backward = [an, rows, cols, valid](Node& self) {
+      softmax_backward_rows(self.data.data(), self.grad.data(),
+                            an->grad.data(), rows, cols, valid);
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor log_softmax_lastdim(const Tensor& a) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  const Shape& s = an->shape;
+  const auto cols = static_cast<std::size_t>(s.back());
+  const std::size_t rows = an->numel() / cols;
+  auto out = make_result(s, "log_softmax", {an});
+  const float* x = an->data.data();
+  float* y = out->data.data();
+  parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float mx = xr[0];
+      for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+      float z = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) z += std::exp(xr[c] - mx);
+      const float lz = mx + std::log(z);
+      for (std::size_t c = 0; c < cols; ++c) yr[c] = xr[c] - lz;
+    }
+  });
+  if (out->requires_grad) {
+    out->backward = [an, rows, cols](Node& self) {
+      const float* yv = self.data.data();
+      const float* g = self.grad.data();
+      float* gx = an->grad.data();
+      parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* yr = yv + r * cols;
+          const float* gr = g + r * cols;
+          float* gxr = gx + r * cols;
+          float gsum = 0.0f;
+          for (std::size_t c = 0; c < cols; ++c) gsum += gr[c];
+          for (std::size_t c = 0; c < cols; ++c) {
+            gxr[c] += gr[c] - std::exp(yr[c]) * gsum;
+          }
+        }
+      });
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  auto xn = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  EVA_ASSERT(xn && gn && bn, "undefined operand");
+  const auto C = static_cast<std::size_t>(xn->shape.back());
+  EVA_REQUIRE(gn->numel() == C && bn->numel() == C,
+              "layernorm gamma/beta must match last dim");
+  const std::size_t rows = xn->numel() / C;
+  auto out = make_result(xn->shape, "layernorm", {xn, gn, bn});
+
+  // Cache normalized values and inverse stddevs for backward.
+  auto xhat = std::make_shared<std::vector<float>>(xn->numel());
+  auto istd = std::make_shared<std::vector<float>>(rows);
+  const float* px = xn->data.data();
+  const float* pg = gn->data.data();
+  const float* pb = bn->data.data();
+  float* py = out->data.data();
+  parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* xr = px + r * C;
+      float mu = 0.0f;
+      for (std::size_t c = 0; c < C; ++c) mu += xr[c];
+      mu /= static_cast<float>(C);
+      float var = 0.0f;
+      for (std::size_t c = 0; c < C; ++c) {
+        const float d = xr[c] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(C);
+      const float is = 1.0f / std::sqrt(var + eps);
+      (*istd)[r] = is;
+      float* hr = xhat->data() + r * C;
+      float* yr = py + r * C;
+      for (std::size_t c = 0; c < C; ++c) {
+        hr[c] = (xr[c] - mu) * is;
+        yr[c] = hr[c] * pg[c] + pb[c];
+      }
+    }
+  });
+
+  if (out->requires_grad) {
+    out->backward = [xn, gn, bn, xhat, istd, rows, C](Node& self) {
+      const float* g = self.grad.data();
+      const float* pg2 = gn->data.data();
+      if (gn->requires_grad || bn->requires_grad) {
+        float* gg = gn->requires_grad ? gn->grad.data() : nullptr;
+        float* gb = bn->requires_grad ? bn->grad.data() : nullptr;
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float* hr = xhat->data() + r * C;
+          const float* gr = g + r * C;
+          for (std::size_t c = 0; c < C; ++c) {
+            if (gg) gg[c] += gr[c] * hr[c];
+            if (gb) gb[c] += gr[c];
+          }
+        }
+      }
+      if (xn->requires_grad) {
+        float* gx = xn->grad.data();
+        parallel_chunks(0, rows, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            const float* hr = xhat->data() + r * C;
+            const float* gr = g + r * C;
+            float* gxr = gx + r * C;
+            const float is = (*istd)[r];
+            float m1 = 0.0f;  // mean of g*gamma
+            float m2 = 0.0f;  // mean of g*gamma*xhat
+            for (std::size_t c = 0; c < C; ++c) {
+              const float gp = gr[c] * pg2[c];
+              m1 += gp;
+              m2 += gp * hr[c];
+            }
+            m1 /= static_cast<float>(C);
+            m2 /= static_cast<float>(C);
+            for (std::size_t c = 0; c < C; ++c) {
+              const float gp = gr[c] * pg2[c];
+              gxr[c] += is * (gp - m1 - hr[c] * m2);
+            }
+          }
+        });
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor embedding(const Tensor& table, const std::vector<int>& indices,
+                 int batch, int seq_len) {
+  auto tn = table.node();
+  EVA_ASSERT(tn, "undefined operand");
+  EVA_REQUIRE(tn->shape.size() == 2, "embedding table must be (V,C)");
+  EVA_REQUIRE(indices.size() ==
+                  static_cast<std::size_t>(batch) * static_cast<std::size_t>(seq_len),
+              "embedding index count mismatch");
+  const int V = tn->shape[0];
+  const auto C = static_cast<std::size_t>(tn->shape[1]);
+  for (int idx : indices) {
+    EVA_REQUIRE(idx >= 0 && idx < V, "embedding index out of vocabulary");
+  }
+  auto out = make_result({batch, seq_len, tn->shape[1]}, "embedding", {tn});
+  const float* pt = tn->data.data();
+  float* py = out->data.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* row = pt + static_cast<std::size_t>(indices[i]) * C;
+    std::copy(row, row + C, py + i * C);
+  }
+  if (out->requires_grad) {
+    out->backward = [tn, indices, C](Node& self) {
+      const float* g = self.grad.data();
+      float* gt = tn->grad.data();
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        float* row = gt + static_cast<std::size_t>(indices[i]) * C;
+        const float* gr = g + i * C;
+        for (std::size_t c = 0; c < C; ++c) row[c] += gr[c];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                     int ignore_index) {
+  auto ln = logits.node();
+  EVA_ASSERT(ln, "undefined operand");
+  EVA_REQUIRE(ln->shape.size() == 2, "cross_entropy expects (N,V) logits");
+  const auto N = static_cast<std::size_t>(ln->shape[0]);
+  const auto V = static_cast<std::size_t>(ln->shape[1]);
+  EVA_REQUIRE(targets.size() == N, "cross_entropy target count mismatch");
+
+  auto probs = std::make_shared<std::vector<float>>(ln->numel());
+  std::vector<double> losses(N, 0.0);
+  std::size_t valid = 0;
+  const float* x = ln->data.data();
+  parallel_chunks(0, N, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* xr = x + r * V;
+      float* pr = probs->data() + r * V;
+      float mx = xr[0];
+      for (std::size_t c = 1; c < V; ++c) mx = std::max(mx, xr[c]);
+      float z = 0.0f;
+      for (std::size_t c = 0; c < V; ++c) {
+        pr[c] = std::exp(xr[c] - mx);
+        z += pr[c];
+      }
+      const float inv = 1.0f / z;
+      for (std::size_t c = 0; c < V; ++c) pr[c] *= inv;
+      if (targets[r] != ignore_index) {
+        EVA_ASSERT(targets[r] >= 0 && targets[r] < static_cast<int>(V),
+                   "cross_entropy target out of range");
+        losses[r] = -std::log(
+            std::max(pr[static_cast<std::size_t>(targets[r])], 1e-12f));
+      }
+    }
+  });
+  for (std::size_t r = 0; r < N; ++r) {
+    if (targets[r] != ignore_index) ++valid;
+  }
+  const float denom = valid > 0 ? static_cast<float>(valid) : 1.0f;
+  double total = 0.0;
+  for (double l : losses) total += l;
+
+  auto out = make_result({1}, "cross_entropy", {ln});
+  out->data[0] = static_cast<float>(total) / denom;
+  if (out->requires_grad) {
+    out->backward = [ln, probs, targets, ignore_index, N, V, denom](Node& self) {
+      const float g = self.grad[0] / denom;
+      float* gx = ln->grad.data();
+      for (std::size_t r = 0; r < N; ++r) {
+        if (targets[r] == ignore_index) continue;
+        const float* pr = probs->data() + r * V;
+        float* gr = gx + r * V;
+        for (std::size_t c = 0; c < V; ++c) gr[c] += g * pr[c];
+        gr[static_cast<std::size_t>(targets[r])] -= g;
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor gather_lastdim(const Tensor& a, const std::vector<int>& indices) {
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  EVA_REQUIRE(an->shape.size() == 2, "gather_lastdim expects (N,V)");
+  const auto N = static_cast<std::size_t>(an->shape[0]);
+  const auto V = static_cast<std::size_t>(an->shape[1]);
+  EVA_REQUIRE(indices.size() == N, "gather_lastdim index count mismatch");
+  auto out = make_result({an->shape[0]}, "gather", {an});
+  for (std::size_t r = 0; r < N; ++r) {
+    EVA_REQUIRE(indices[r] >= 0 && indices[r] < static_cast<int>(V),
+                "gather index out of range");
+    out->data[r] = an->data[r * V + static_cast<std::size_t>(indices[r])];
+  }
+  if (out->requires_grad) {
+    out->backward = [an, indices, V](Node& self) {
+      for (std::size_t r = 0; r < indices.size(); ++r) {
+        an->grad[r * V + static_cast<std::size_t>(indices[r])] += self.grad[r];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+Tensor dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  EVA_REQUIRE(p < 1.0f, "dropout p must be < 1");
+  auto an = a.node();
+  EVA_ASSERT(an, "undefined operand");
+  auto keep = std::make_shared<std::vector<float>>(an->numel());
+  const float scale = 1.0f / (1.0f - p);
+  for (auto& k : *keep) k = rng.chance(p) ? 0.0f : scale;
+  auto out = make_result(an->shape, "dropout", {an});
+  for (std::size_t i = 0; i < an->numel(); ++i) {
+    out->data[i] = an->data[i] * (*keep)[i];
+  }
+  if (out->requires_grad) {
+    out->backward = [an, keep](Node& self) {
+      for (std::size_t i = 0; i < self.numel(); ++i) {
+        an->grad[i] += self.grad[i] * (*keep)[i];
+      }
+    };
+  }
+  return Tensor{out};
+}
+
+}  // namespace eva::tensor

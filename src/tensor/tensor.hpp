@@ -1,0 +1,188 @@
+// Minimal reverse-mode autodiff tensor engine.
+//
+// This is the numerical substrate for every neural component in EVA (the
+// decoder-only generation transformer, the reward model, and the PPO/DPO
+// fine-tuning losses). The paper trains with PyTorch on GPU; we implement
+// the equivalent engine from scratch for CPU:
+//
+//  * float32 dense tensors of rank 1..3 (vector / matrix / batched matrix),
+//  * a dynamic tape: each op records parents and a backward closure,
+//  * fused domain ops (softmax / layernorm / cross-entropy / embedding /
+//    causal attention softmax) so the graph stays small and fast,
+//  * multi-threaded matmul via eva::parallel_chunks.
+//
+// Conventions: a Tensor is a cheap shared handle (shared_ptr to a Node).
+// Ops are free functions returning new Tensors. Gradients are accumulated
+// (+=) so a value used twice receives both contributions. backward() is
+// called on a scalar loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace eva::tensor {
+
+/// Dimension sizes, outermost first. Rank 1..3 supported by all ops.
+using Shape = std::vector<int>;
+
+[[nodiscard]] std::size_t shape_numel(const Shape& s);
+[[nodiscard]] std::string shape_str(const Shape& s);
+[[nodiscard]] bool same_shape(const Shape& a, const Shape& b);
+/// True when `suffix` equals the trailing dims of `full` (broadcast rule).
+[[nodiscard]] bool is_suffix(const Shape& suffix, const Shape& full);
+
+class Tensor;
+
+namespace detail {
+
+/// Graph node: storage + tape entry. Not part of the public API.
+struct Node {
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated on first access
+  Shape shape;
+  bool requires_grad = false;
+  const char* op = "leaf";
+  std::vector<std::shared_ptr<Node>> parents;
+  // Pushes this node's grad into parents' grads. Null for leaves.
+  std::function<void(Node&)> backward;
+
+  [[nodiscard]] std::size_t numel() const { return data.size(); }
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+/// Shared handle to a tensor graph node. Copy = alias (PyTorch-like).
+class Tensor {
+ public:
+  /// Default-constructed Tensor is "undefined"; check with defined().
+  Tensor() = default;
+
+  // --- Factories -------------------------------------------------------
+  [[nodiscard]] static Tensor zeros(Shape shape, bool requires_grad = false);
+  [[nodiscard]] static Tensor full(Shape shape, float value,
+                                   bool requires_grad = false);
+  [[nodiscard]] static Tensor from(Shape shape, std::vector<float> data,
+                                   bool requires_grad = false);
+  /// Gaussian init with the given stddev (for parameters).
+  [[nodiscard]] static Tensor randn(Shape shape, Rng& rng, float stddev,
+                                    bool requires_grad = true);
+  [[nodiscard]] static Tensor scalar(float v, bool requires_grad = false);
+
+  // --- Introspection ---------------------------------------------------
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+  [[nodiscard]] const Shape& shape() const;
+  [[nodiscard]] int rank() const { return static_cast<int>(shape().size()); }
+  [[nodiscard]] int dim(int i) const;
+  [[nodiscard]] std::size_t numel() const;
+  [[nodiscard]] bool requires_grad() const;
+
+  [[nodiscard]] std::span<float> data();
+  [[nodiscard]] std::span<const float> data() const;
+  /// Gradient buffer (allocated zero-filled on first call).
+  [[nodiscard]] std::span<float> grad();
+  [[nodiscard]] std::span<const float> grad() const;
+
+  /// Value of a single-element tensor.
+  [[nodiscard]] float item() const;
+
+  // --- Autograd --------------------------------------------------------
+  /// Backprop from this scalar: seeds grad = 1 and walks the tape in
+  /// reverse topological order. Requires numel()==1 and requires_grad().
+  void backward();
+  void zero_grad();
+  /// Deep copy with no graph history (requires_grad = false).
+  [[nodiscard]] Tensor detach() const;
+
+  // Internal: used by op implementations.
+  [[nodiscard]] std::shared_ptr<detail::Node> node() const { return node_; }
+  explicit Tensor(std::shared_ptr<detail::Node> n) : node_(std::move(n)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+// --- Elementwise binary (shapes equal, or rhs scalar, or rhs a suffix of
+// lhs; suffix operands broadcast over leading dims) -----------------------
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+
+// --- Scalar ops ----------------------------------------------------------
+[[nodiscard]] Tensor add_scalar(const Tensor& a, float s);
+[[nodiscard]] Tensor mul_scalar(const Tensor& a, float s);
+
+// --- Unary ---------------------------------------------------------------
+[[nodiscard]] Tensor neg(const Tensor& a);
+[[nodiscard]] Tensor exp_t(const Tensor& a);
+[[nodiscard]] Tensor log_t(const Tensor& a);  // requires strictly positive
+[[nodiscard]] Tensor tanh_t(const Tensor& a);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+[[nodiscard]] Tensor relu(const Tensor& a);
+/// GELU, tanh approximation (as used by GPT-style transformers).
+[[nodiscard]] Tensor gelu(const Tensor& a);
+[[nodiscard]] Tensor square(const Tensor& a);
+/// Clamp to [lo, hi]; gradient is 1 inside the interval, 0 outside.
+[[nodiscard]] Tensor clamp_t(const Tensor& a, float lo, float hi);
+/// Elementwise minimum (same shapes); subgradient routes to the smaller
+/// operand (ties go to a). Used by the PPO clipped surrogate.
+[[nodiscard]] Tensor min_t(const Tensor& a, const Tensor& b);
+
+// --- Matmul / layout -----------------------------------------------------
+/// (M,K)x(K,N); (B,M,K)x(K,N); (B,M,K)x(B,K,N). Multi-threaded.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+/// Swap the last two dims.
+[[nodiscard]] Tensor transpose_last(const Tensor& a);
+/// Same data, new shape (copies; numel must match).
+[[nodiscard]] Tensor reshape(const Tensor& a, Shape shape);
+/// (B,T,H*D) -> (B*H,T,D): head split for multi-head attention.
+[[nodiscard]] Tensor split_heads(const Tensor& a, int heads);
+/// (B*H,T,D) -> (B,T,H*D): inverse of split_heads.
+[[nodiscard]] Tensor merge_heads(const Tensor& a, int heads);
+
+// --- Reductions ----------------------------------------------------------
+[[nodiscard]] Tensor sum_all(const Tensor& a);
+[[nodiscard]] Tensor mean_all(const Tensor& a);
+/// Mean weighted by a per-element constant mask (no grad through mask):
+/// sum(a*mask)/max(1,sum(mask)). Used for padded-token losses.
+[[nodiscard]] Tensor masked_mean(const Tensor& a,
+                                 const std::vector<float>& mask);
+
+// --- Fused NN ops ---------------------------------------------------------
+/// Softmax over the last dim.
+[[nodiscard]] Tensor softmax_lastdim(const Tensor& a);
+/// Softmax over the last dim with a causal mask: input (B,T,T) (or (R,T)
+/// where R is a multiple of T); row r attends to columns [0, r mod T].
+[[nodiscard]] Tensor causal_softmax(const Tensor& scores, int seq_len);
+[[nodiscard]] Tensor log_softmax_lastdim(const Tensor& a);
+/// LayerNorm over the last dim with learnable gamma/beta (shape = lastdim).
+[[nodiscard]] Tensor layernorm(const Tensor& x, const Tensor& gamma,
+                               const Tensor& beta, float eps = 1e-5f);
+/// Row-gather from an embedding table (V,C) by flat indices -> (B,T,C).
+[[nodiscard]] Tensor embedding(const Tensor& table,
+                               const std::vector<int>& indices, int batch,
+                               int seq_len);
+/// Mean cross-entropy of logits (N,V) against integer targets; targets
+/// equal to ignore_index contribute nothing.
+[[nodiscard]] Tensor cross_entropy(const Tensor& logits,
+                                   const std::vector<int>& targets,
+                                   int ignore_index = -1);
+/// Pick one element per row of a (N,V) tensor -> (N,). Used to extract
+/// per-token log-probabilities for PPO/DPO.
+[[nodiscard]] Tensor gather_lastdim(const Tensor& a,
+                                    const std::vector<int>& indices);
+/// Inverted-dropout (scales kept activations by 1/(1-p)); identity when
+/// `training` is false or p == 0.
+[[nodiscard]] Tensor dropout(const Tensor& a, float p, Rng& rng,
+                             bool training);
+
+}  // namespace eva::tensor

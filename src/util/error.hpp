@@ -1,0 +1,67 @@
+// Error handling primitives shared across the EVA library.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): recoverable errors throw
+// eva::Error; contract violations (programmer bugs) abort via EVA_ASSERT,
+// which stays active in release builds because the cost is negligible
+// relative to the numerical work this library does.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eva {
+
+/// Base exception for all recoverable EVA errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a netlist / sequence / topology is structurally malformed.
+class CircuitError : public Error {
+ public:
+  explicit CircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or hits a singularity.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed configuration or I/O.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "EVA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace eva
+
+/// Contract check: active in all build types. Use for preconditions and
+/// invariants whose violation indicates a bug, not bad input.
+#define EVA_ASSERT(expr, msg)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::eva::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                \
+  } while (false)
+
+/// Input validation: throws eva::Error on failure. Use for conditions that
+/// depend on user-supplied data (files, generated sequences, configs).
+#define EVA_REQUIRE(expr, msg)                  \
+  do {                                          \
+    if (!(expr)) {                              \
+      throw ::eva::Error(std::string("requirement failed: ") + (msg)); \
+    }                                           \
+  } while (false)

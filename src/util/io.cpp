@@ -1,0 +1,157 @@
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace eva {
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EVA_ASSERT(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  EVA_ASSERT(row.size() == header_.size(), "CSV row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> s;
+  s.reserve(row.size());
+  for (double v : row) s.push_back(fmt(v, 6));
+  add_row(std::move(s));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw ConfigError("cannot open CSV output file: " + path);
+  write(f);
+}
+
+ConsoleTable::ConsoleTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  EVA_ASSERT(!columns_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  EVA_ASSERT(row.size() == columns_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> w(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) w[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  }
+  std::size_t total = 1;
+  for (std::size_t x : w) total += x + 3;
+
+  os << '\n' << title_ << '\n' << std::string(total, '-') << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << row[i] << std::string(w[i] - row[i].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << std::string(total, '-') << '\n';
+}
+
+std::string fmt(double v, int prec) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  std::string s{buf};
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string ascii_curve(const std::vector<double>& ys, const std::string& label,
+                        int width, int height) {
+  std::ostringstream os;
+  os << label << '\n';
+  if (ys.empty()) {
+    os << "  (no data)\n";
+    return os.str();
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(ys.begin(), ys.end());
+  double mn = *mn_it;
+  double mx = *mx_it;
+  if (mx - mn < 1e-12) {
+    mn -= 0.5;
+    mx += 0.5;
+  }
+  // Resample to `width` columns.
+  std::vector<double> cols(static_cast<std::size_t>(width));
+  for (int c = 0; c < width; ++c) {
+    const double pos = static_cast<double>(c) * static_cast<double>(ys.size() - 1) /
+                       std::max(1, width - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, ys.size() - 1);
+    const double f = pos - static_cast<double>(lo);
+    cols[static_cast<std::size_t>(c)] = ys[lo] * (1 - f) + ys[hi] * f;
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int c = 0; c < width; ++c) {
+    const double norm = (cols[static_cast<std::size_t>(c)] - mn) / (mx - mn);
+    int r = height - 1 - static_cast<int>(std::lround(norm * (height - 1)));
+    r = std::clamp(r, 0, height - 1);
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '*';
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4g |", mx);
+  os << buf << grid[0] << '\n';
+  for (int r = 1; r + 1 < height; ++r) {
+    os << "           |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "%10.4g |", mn);
+  os << buf << grid[static_cast<std::size_t>(height - 1)] << '\n';
+  os << "            " << std::string(static_cast<std::size_t>(width), '-')
+     << "  (" << ys.size() << " points)\n";
+  return os.str();
+}
+
+}  // namespace eva

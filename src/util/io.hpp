@@ -1,0 +1,56 @@
+// Output helpers used by benchmarks and examples: CSV writing for curves,
+// and fixed-width console tables that mirror the paper's table layout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eva {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// commas/quotes/newlines). Used to dump loss curves and sweep results.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_row(const std::vector<double>& row);
+
+  /// Write header + rows to a stream.
+  void write(std::ostream& os) const;
+  /// Write to a file path; throws eva::ConfigError on failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-width console table with a title, used by the bench harnesses to
+/// print paper-style tables.
+class ConsoleTable {
+ public:
+  ConsoleTable(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant decimals, trimming trailing zeros.
+[[nodiscard]] std::string fmt(double v, int prec = 4);
+
+/// Render a numeric series as a compact ASCII sparkline-style curve block
+/// (used by the figure benches to show loss/score trends in the console).
+[[nodiscard]] std::string ascii_curve(const std::vector<double>& ys,
+                                      const std::string& label,
+                                      int width = 72, int height = 10);
+
+}  // namespace eva

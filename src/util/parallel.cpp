@@ -1,0 +1,61 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace eva {
+
+namespace {
+std::atomic<std::size_t> g_override{0};
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hc == 0 ? 1 : hc, 1, 16);
+}
+}  // namespace
+
+std::size_t num_threads() {
+  const std::size_t o = g_override.load(std::memory_order_relaxed);
+  return o == 0 ? hardware_threads() : o;
+}
+
+void set_num_threads(std::size_t n) {
+  g_override.store(n, std::memory_order_relaxed);
+}
+
+void parallel_chunks(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  std::size_t workers = std::min(num_threads(), (n + min_chunk - 1) / min_chunk);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t b = begin + w * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    if (b >= e) break;
+    pool.emplace_back([&fn, b, e] { fn(b, e); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_chunks(
+      begin, end,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace eva

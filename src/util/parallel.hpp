@@ -1,0 +1,31 @@
+// Minimal data-parallel helpers used by the tensor engine and the
+// evaluation harnesses. Plain std::thread fan-out; no work stealing —
+// workloads here are uniform (matmul row blocks, per-circuit evals).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace eva {
+
+/// Number of worker threads used by parallel_for (hardware_concurrency,
+/// clamped to [1, 16]). Overridable for tests via set_num_threads.
+[[nodiscard]] std::size_t num_threads();
+
+/// Override the worker count (0 restores the hardware default).
+void set_num_threads(std::size_t n);
+
+/// Run fn(i) for i in [begin, end), split into contiguous chunks across
+/// worker threads. Runs inline when the range is small or workers == 1.
+/// fn must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per worker. Lower overhead
+/// for very fine-grained loops (tensor elementwise ops).
+void parallel_chunks(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t min_chunk = 1024);
+
+}  // namespace eva

@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace eva {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  EVA_ASSERT(!xs.empty(), "percentile of empty span");
+  EVA_ASSERT(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> histogram(std::span<const double> xs, double lo, double hi,
+                              std::size_t bins, bool normalize) {
+  EVA_ASSERT(bins > 0, "histogram needs at least one bin");
+  EVA_ASSERT(hi > lo, "histogram range must be non-empty");
+  std::vector<double> counts(bins, 0.0);
+  if (xs.empty()) return counts;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto b = static_cast<long>((x - lo) / width);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    counts[static_cast<std::size_t>(b)] += 1.0;
+  }
+  if (normalize) {
+    const double total = static_cast<double>(xs.size());
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+double otsu_threshold(std::span<const double> xs, std::size_t bins) {
+  EVA_ASSERT(!xs.empty(), "otsu_threshold of empty span");
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mx - mn < 1e-300) return mn;
+
+  const std::vector<double> h = histogram(xs, mn, mx, bins, true);
+  // Cumulative class probability / mean scans.
+  double total_mean = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    total_mean += (static_cast<double>(i) + 0.5) * h[i];
+  }
+  double w0 = 0.0;       // probability mass of class 0 (below threshold)
+  double mu0_sum = 0.0;  // unnormalized mean of class 0
+  double best_sigma = -1.0;
+  std::size_t best_bin = 0;
+  for (std::size_t t = 0; t + 1 < bins; ++t) {
+    w0 += h[t];
+    mu0_sum += (static_cast<double>(t) + 0.5) * h[t];
+    const double w1 = 1.0 - w0;
+    if (w0 < 1e-12 || w1 < 1e-12) continue;
+    const double mu0 = mu0_sum / w0;
+    const double mu1 = (total_mean - mu0_sum) / w1;
+    const double sigma = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (sigma > best_sigma) {
+      best_sigma = sigma;
+      best_bin = t;
+    }
+  }
+  const double width = (mx - mn) / static_cast<double>(bins);
+  return mn + (static_cast<double>(best_bin) + 1.0) * width;
+}
+
+std::vector<double> ema(std::span<const double> xs, double alpha) {
+  EVA_ASSERT(alpha > 0.0 && alpha <= 1.0, "ema alpha in (0,1]");
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    acc = first ? x : alpha * x + (1.0 - alpha) * acc;
+    first = false;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace eva

@@ -1,0 +1,44 @@
+// Small statistics toolkit: summary stats, histograms, Otsu's threshold
+// (used by the reward model to split relevant circuits into high / low
+// performance classes, paper §III-C1), and distribution distances used by
+// the MMD novelty metric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eva {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance; 0 for spans shorter than 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation. Requires
+/// a non-empty span; input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range clamp to the edge buckets. Returned counts are normalized to
+/// sum to 1 when normalize is true (all-zero if xs is empty).
+[[nodiscard]] std::vector<double> histogram(std::span<const double> xs,
+                                            double lo, double hi,
+                                            std::size_t bins,
+                                            bool normalize = true);
+
+/// Otsu's method: the threshold that maximizes inter-class variance of the
+/// sample histogram. Used to split FoM values into "high performance" vs
+/// "low performance" (paper §III-C1). Requires a non-empty span; if all
+/// values are equal, returns that value.
+[[nodiscard]] double otsu_threshold(std::span<const double> xs,
+                                    std::size_t bins = 64);
+
+/// Exponential moving average of a series (smoothing for loss curves).
+[[nodiscard]] std::vector<double> ema(std::span<const double> xs,
+                                      double alpha);
+
+}  // namespace eva

@@ -1,0 +1,448 @@
+// Unit + property tests for the circuit substrate: netlists, the pin-level
+// multigraph, Euler tours and decoding, validity, canonical hashing,
+// classification, graph statistics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "circuit/canon.hpp"
+#include "circuit/classify.hpp"
+#include "circuit/graphstats.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/pingraph.hpp"
+#include "circuit/validity.hpp"
+#include "data/builder.hpp"
+#include "data/generators.hpp"
+
+namespace {
+
+using namespace eva::circuit;
+using eva::Rng;
+using eva::data::NetBuilder;
+
+/// Minimal valid circuit: NMOS common-source amp with a resistor load.
+Netlist make_cs_amp() {
+  NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);
+  b.io("out", IoPin::Vout1);
+  b.mos(DeviceKind::Nmos, "in", "out", "VSS");
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  return b.take();
+}
+
+TEST(Netlist, AddDeviceAssignsInstanceIndices) {
+  Netlist nl;
+  const int a = nl.add_device(DeviceKind::Nmos);
+  const int b = nl.add_device(DeviceKind::Nmos);
+  const int c = nl.add_device(DeviceKind::Resistor);
+  EXPECT_EQ(nl.devices()[static_cast<std::size_t>(a)].index, 1);
+  EXPECT_EQ(nl.devices()[static_cast<std::size_t>(b)].index, 2);
+  EXPECT_EQ(nl.devices()[static_cast<std::size_t>(c)].index, 1);
+}
+
+TEST(Netlist, PinNames) {
+  Netlist nl;
+  const int d = nl.add_device(DeviceKind::Nmos);
+  EXPECT_EQ(nl.pin_name(dev_ref(d, mos::G)), "NM1_G");
+  EXPECT_EQ(nl.pin_name(io_ref(IoPin::Vdd)), "VDD");
+}
+
+TEST(Netlist, RejectsDoubleConnection) {
+  Netlist nl;
+  const int d = nl.add_device(DeviceKind::Resistor);
+  nl.add_net({dev_ref(d, 0), io_ref(IoPin::Vss)});
+  EXPECT_THROW(nl.add_net({dev_ref(d, 0)}), eva::Error);
+}
+
+TEST(Netlist, RejectsDuplicatePinInNet) {
+  Netlist nl;
+  const int d = nl.add_device(DeviceKind::Resistor);
+  EXPECT_THROW(nl.add_net({dev_ref(d, 0), dev_ref(d, 0)}), eva::Error);
+}
+
+TEST(Netlist, NetOfAndDisconnect) {
+  Netlist nl;
+  const int d = nl.add_device(DeviceKind::Resistor);
+  const int n = nl.add_net({dev_ref(d, 0), io_ref(IoPin::Vss)});
+  EXPECT_EQ(nl.net_of(dev_ref(d, 0)).value(), n);
+  nl.disconnect(dev_ref(d, 0));
+  EXPECT_FALSE(nl.net_of(dev_ref(d, 0)).has_value());
+}
+
+TEST(Netlist, IoQueriesAndSpiceDump) {
+  const Netlist nl = make_cs_amp();
+  EXPECT_TRUE(nl.uses_io(IoPin::Vdd));
+  EXPECT_TRUE(nl.uses_io(IoPin::Vout1));
+  EXPECT_FALSE(nl.uses_io(IoPin::Clk1));
+  const std::string spice = nl.to_spice();
+  EXPECT_NE(spice.find("NM1"), std::string::npos);
+  EXPECT_NE(spice.find("VOUT1"), std::string::npos);
+}
+
+// --- pin graph / Euler tour --------------------------------------------------
+
+TEST(PinGraph, DegreesAlwaysEven) {
+  const Netlist nl = make_cs_amp();
+  const PinGraph g = PinGraph::from_netlist(nl);
+  EXPECT_TRUE(g.all_degrees_even());
+}
+
+TEST(PinGraph, ConnectedForValidCircuit) {
+  const PinGraph g = PinGraph::from_netlist(make_cs_amp());
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(PinGraph, TourStartsAndEndsAtVss) {
+  Rng rng(1);
+  const auto tour = encode_tour(make_cs_amp(), rng);
+  ASSERT_GE(tour.size(), 3u);
+  EXPECT_TRUE(tour.front().is_io && tour.front().io == IoPin::Vss);
+  EXPECT_TRUE(tour.back().is_io && tour.back().io == IoPin::Vss);
+}
+
+TEST(PinGraph, TourLengthIsEdgesPlusOne) {
+  const Netlist nl = make_cs_amp();
+  const PinGraph g = PinGraph::from_netlist(nl);
+  Rng rng(2);
+  EXPECT_EQ(g.euler_tour(rng).size(), g.num_edges() + 1);
+}
+
+TEST(PinGraph, TourUsesEachEdgeOnce) {
+  const Netlist nl = make_cs_amp();
+  const PinGraph g = PinGraph::from_netlist(nl);
+  Rng rng(3);
+  const auto tour = g.euler_tour(rng);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> used;
+  for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+    auto a = pack_token(tour[i]);
+    auto b = pack_token(tour[i + 1]);
+    if (a > b) std::swap(a, b);
+    ++used[{a, b}];
+  }
+  std::size_t total = 0;
+  for (const auto& [k, v] : used) {
+    (void)k;
+    total += static_cast<std::size_t>(v);
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(PinGraph, RandomizedToursDiffer) {
+  const Netlist nl = make_cs_amp();
+  Rng r1(10), r2(20);
+  std::set<std::string> tours;
+  for (int i = 0; i < 8; ++i) {
+    std::string s;
+    for (const auto& t : encode_tour(nl, r1)) s += t.name() + " ";
+    tours.insert(s);
+  }
+  // Sequence augmentation: several distinct tours of the same topology.
+  EXPECT_GT(tours.size(), 1u);
+}
+
+TEST(PinGraph, ThrowsWithoutVss) {
+  NetBuilder b;
+  b.io("VDD", IoPin::Vdd);
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const Netlist nl = b.take();
+  Rng rng(4);
+  EXPECT_THROW(encode_tour(nl, rng), eva::CircuitError);
+}
+
+TEST(PinGraph, PackUnpackRoundTrip) {
+  const PinToken a = dev_token(DeviceKind::Pmos, 7, 2);
+  const PinToken b = io_token(IoPin::Vout2);
+  EXPECT_TRUE(unpack_token(pack_token(a)) == a);
+  EXPECT_TRUE(unpack_token(pack_token(b)) == b);
+}
+
+TEST(Decode, RoundTripPreservesTopology) {
+  const Netlist nl = make_cs_amp();
+  Rng rng(5);
+  const auto tour = encode_tour(nl, rng);
+  const DecodeResult res = decode_tour(tour);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.floating_pins, 0);
+  EXPECT_EQ(canonical_hash(res.netlist), canonical_hash(nl));
+}
+
+TEST(Decode, RejectsTruncatedTour) {
+  Rng rng(6);
+  auto tour = encode_tour(make_cs_amp(), rng);
+  tour.pop_back();  // no longer returns to VSS
+  EXPECT_FALSE(decode_tour(tour).ok);
+}
+
+TEST(Decode, RejectsSelfLoop) {
+  std::vector<PinToken> tour{io_token(IoPin::Vss), io_token(IoPin::Vss)};
+  EXPECT_FALSE(decode_tour(tour).ok);
+}
+
+TEST(Decode, RejectsWrongStart) {
+  Rng rng(7);
+  auto tour = encode_tour(make_cs_amp(), rng);
+  tour.front() = io_token(IoPin::Vdd);
+  EXPECT_FALSE(decode_tour(tour).ok);
+}
+
+TEST(Decode, RejectsIncompleteDeviceCycle) {
+  // A walk VSS -> NM1_G -> VSS mentions NM1 but never closes its cycle.
+  std::vector<PinToken> tour{io_token(IoPin::Vss),
+                             dev_token(DeviceKind::Nmos, 1, mos::G),
+                             io_token(IoPin::Vss)};
+  const auto res = decode_tour(tour);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("device cycle"), std::string::npos);
+}
+
+TEST(Decode, DiodeConnectedMosRoundTrip) {
+  // Diode-connected NMOS (G and D in one net) must survive the multiset
+  // subtraction logic.
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  const int d = b.netlist().add_device(DeviceKind::Nmos);
+  b.netlist().connect(b.net("out"), dev_ref(d, mos::G));
+  b.netlist().connect(b.net("out"), dev_ref(d, mos::D));
+  b.netlist().connect(b.net("VSS"), dev_ref(d, mos::S));
+  b.netlist().connect(b.net("VSS"), dev_ref(d, mos::B));
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const Netlist nl = b.take();
+  Rng rng(8);
+  const auto res = decode_tour(encode_tour(nl, rng));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(canonical_hash(res.netlist), canonical_hash(nl));
+}
+
+// Property: round trip across many random topologies of all types.
+class RoundTripAllTypes : public ::testing::TestWithParam<CircuitType> {};
+
+TEST_P(RoundTripAllTypes, EncodeDecodeIsIdentityUpToRenaming) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 3);
+  for (int i = 0; i < 10; ++i) {
+    const Netlist nl = eva::data::generate(GetParam(), rng);
+    const auto tour = encode_tour(nl, rng);
+    const auto res = decode_tour(tour);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(canonical_hash(res.netlist), canonical_hash(nl));
+    EXPECT_EQ(res.netlist.num_devices(), nl.num_devices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RoundTripAllTypes,
+    ::testing::Values(CircuitType::OpAmp, CircuitType::Ldo,
+                      CircuitType::Bandgap, CircuitType::Comparator,
+                      CircuitType::Pll, CircuitType::Lna, CircuitType::Pa,
+                      CircuitType::Mixer, CircuitType::Vco,
+                      CircuitType::PowerConverter, CircuitType::ScSampler));
+
+// --- validity ---------------------------------------------------------------
+
+TEST(Validity, AcceptsWellFormedCircuit) {
+  EXPECT_TRUE(structurally_valid(make_cs_amp()));
+}
+
+TEST(Validity, RejectsEmptyNetlist) {
+  Netlist nl;
+  const auto rep = check_structure(nl);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Validity, RejectsMissingVdd) {
+  NetBuilder b;
+  b.io("VSS", IoPin::Vss);
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VSS", "out");
+  EXPECT_FALSE(structurally_valid(b.take()));
+}
+
+TEST(Validity, RejectsSupplyShort) {
+  // Build a net that contains both rails directly.
+  Netlist nl;
+  const int r = nl.add_device(DeviceKind::Resistor);
+  nl.add_net({io_ref(IoPin::Vdd), io_ref(IoPin::Vss), dev_ref(r, 0)});
+  nl.add_net({dev_ref(r, 1), io_ref(IoPin::Vout1)});
+  const auto rep = check_structure(nl);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Validity, RejectsFloatingPin) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const int d = b.netlist().add_device(DeviceKind::Nmos);
+  // Only connect three of four pins.
+  b.netlist().connect(b.net("out"), dev_ref(d, mos::G));
+  b.netlist().connect(b.net("VDD"), dev_ref(d, mos::D));
+  b.netlist().connect(b.net("VSS"), dev_ref(d, mos::S));
+  const auto rep = check_structure(b.netlist());
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Validity, RejectsFullyShortedDevice) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  b.mos(DeviceKind::Nmos, "out", "out", "out", "out");
+  EXPECT_FALSE(structurally_valid(b.netlist()));
+}
+
+TEST(Validity, RejectsDisconnectedIsland) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.mos(DeviceKind::Nmos, "VDD", "out", "VSS");
+  // Electrically isolated RC island.
+  b.two(DeviceKind::Resistor, "island1", "island2");
+  b.two(DeviceKind::Capacitor, "island1", "island2");
+  EXPECT_FALSE(structurally_valid(b.take()));
+}
+
+TEST(Validity, RejectsNoOutput) {
+  NetBuilder b;
+  b.rails();
+  b.two(DeviceKind::Resistor, "VDD", "mid");
+  b.two(DeviceKind::Resistor, "mid", "VSS");
+  EXPECT_FALSE(structurally_valid(b.take()));
+}
+
+// --- canonical hash ----------------------------------------------------------
+
+TEST(Canon, InvariantUnderDeviceOrder) {
+  // Same circuit, devices added in different orders.
+  auto build = [](bool flip) {
+    NetBuilder b;
+    b.rails();
+    b.io("out", IoPin::Vout1);
+    if (flip) {
+      b.two(DeviceKind::Resistor, "VDD", "out");
+      b.mos(DeviceKind::Nmos, "VDD", "out", "VSS");
+    } else {
+      b.mos(DeviceKind::Nmos, "VDD", "out", "VSS");
+      b.two(DeviceKind::Resistor, "VDD", "out");
+    }
+    return b.take();
+  };
+  EXPECT_EQ(canonical_hash(build(false)), canonical_hash(build(true)));
+}
+
+TEST(Canon, DistinguishesPinRoles) {
+  // Gate-to-out vs drain-to-out are different topologies.
+  auto build = [](bool gate_on_out) {
+    NetBuilder b;
+    b.rails();
+    b.io("out", IoPin::Vout1);
+    b.two(DeviceKind::Resistor, "VDD", "out");
+    if (gate_on_out) {
+      b.mos(DeviceKind::Nmos, "out", "VDD", "VSS");
+    } else {
+      b.mos(DeviceKind::Nmos, "VDD", "out", "VSS");
+    }
+    return b.take();
+  };
+  EXPECT_NE(canonical_hash(build(true)), canonical_hash(build(false)));
+}
+
+TEST(Canon, DistinguishesDeviceKinds) {
+  auto build = [](DeviceKind k) {
+    NetBuilder b;
+    b.rails();
+    b.io("out", IoPin::Vout1);
+    b.two(k, "VDD", "out");
+    b.two(DeviceKind::Resistor, "out", "VSS");
+    return b.take();
+  };
+  EXPECT_NE(canonical_hash(build(DeviceKind::Resistor)),
+            canonical_hash(build(DeviceKind::Capacitor)));
+}
+
+TEST(Canon, SensitiveToExtraDevice) {
+  Netlist base = make_cs_amp();
+  const std::uint64_t h1 = canonical_hash(base);
+  NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);
+  b.io("out", IoPin::Vout1);
+  b.mos(DeviceKind::Nmos, "in", "out", "VSS");
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  b.two(DeviceKind::Capacitor, "out", "VSS");
+  EXPECT_NE(h1, canonical_hash(b.take()));
+}
+
+// --- classification -----------------------------------------------------------
+
+class ClassifyGenerated : public ::testing::TestWithParam<CircuitType> {};
+
+TEST_P(ClassifyGenerated, GeneratorMatchesClassifier) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  int agree = 0;
+  const int n = 25;
+  for (int i = 0; i < n; ++i) {
+    const Netlist nl = eva::data::generate(GetParam(), rng);
+    if (classify(nl) == GetParam()) ++agree;
+  }
+  // Generators and the rule-based classifier must be strongly consistent.
+  EXPECT_GE(agree, n * 4 / 5)
+      << "type " << type_name(GetParam()) << " agree=" << agree;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ClassifyGenerated,
+    ::testing::Values(CircuitType::OpAmp, CircuitType::Ldo,
+                      CircuitType::Bandgap, CircuitType::Comparator,
+                      CircuitType::Pll, CircuitType::Lna, CircuitType::Pa,
+                      CircuitType::Mixer, CircuitType::Vco,
+                      CircuitType::PowerConverter, CircuitType::ScSampler));
+
+TEST(Classify, FeaturesDetectDiffPair) {
+  Rng rng(42);
+  const Netlist nl = eva::data::gen_opamp(rng);
+  const auto f = extract_features(nl);
+  EXPECT_TRUE(f.has_diff_pair);
+  EXPECT_TRUE(f.diff_pair_on_inputs);
+  EXPECT_FALSE(f.uses_clk);
+}
+
+TEST(Classify, CsAmpIsUnknown) {
+  // A bare common-source stage matches none of the 11 families.
+  EXPECT_EQ(classify(make_cs_amp()), CircuitType::Unknown);
+}
+
+TEST(Classify, TypeNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int t = 0; t <= static_cast<int>(CircuitType::Unknown); ++t) {
+    names.insert(type_name(static_cast<CircuitType>(t)));
+  }
+  EXPECT_EQ(names.size(), 12u);
+}
+
+// --- graph stats -----------------------------------------------------------
+
+TEST(GraphStats, HistogramsNormalized) {
+  const auto s = graph_stats(make_cs_amp());
+  double deg_sum = 0, net_sum = 0, kind_sum = 0;
+  for (double v : s.degree_hist) deg_sum += v;
+  for (double v : s.netsize_hist) net_sum += v;
+  for (double v : s.kind_hist) kind_sum += v;
+  EXPECT_NEAR(deg_sum, 1.0, 1e-9);
+  EXPECT_NEAR(net_sum, 1.0, 1e-9);
+  EXPECT_NEAR(kind_sum, 1.0, 1e-9);
+  EXPECT_GT(s.avg_degree, 0.0);
+  EXPECT_EQ(s.device_count, 2.0);
+}
+
+TEST(GraphStats, VectorFixedLength) {
+  Rng rng(3);
+  const auto v1 = stats_vector(make_cs_amp());
+  const auto v2 = stats_vector(eva::data::gen_opamp(rng));
+  EXPECT_EQ(v1.size(), v2.size());
+  EXPECT_NE(v1, v2);
+}
+
+}  // namespace

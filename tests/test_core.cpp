@@ -1,0 +1,131 @@
+// Integration tests for the Eva engine facade: the full pipeline at
+// unit-test scale (dataset -> pretrain -> finetune -> generate -> metrics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/eva.hpp"
+
+namespace {
+
+using namespace eva;
+using circuit::CircuitType;
+
+core::EvaConfig tiny_config(std::uint64_t seed) {
+  core::EvaConfig cfg;
+  cfg.seed = seed;
+  cfg.dataset.per_type = 5;
+  cfg.dataset.seed = seed + 1;
+  cfg.dataset.require_simulatable = false;
+  cfg.tours_per_topology = 2;
+  cfg.model = nn::ModelConfig::tiny(0);
+  cfg.pretrain.steps = 60;
+  cfg.pretrain.batch = 4;
+  return cfg;
+}
+
+TEST(Eva, PrepareBuildsEverything) {
+  core::Eva engine(tiny_config(700));
+  EXPECT_FALSE(engine.prepared());
+  engine.prepare();
+  EXPECT_TRUE(engine.prepared());
+  EXPECT_EQ(engine.dataset().entries().size(), 5u * 11u);
+  EXPECT_GT(engine.tokenizer().vocab_size(), 20);
+  EXPECT_EQ(engine.model().config().vocab, engine.tokenizer().vocab_size());
+  EXPECT_FALSE(engine.corpus().train.empty());
+}
+
+TEST(Eva, MethodsRequirePrepare) {
+  core::Eva engine(tiny_config(701));
+  EXPECT_THROW(engine.pretrain(), Error);
+  EXPECT_THROW((void)engine.generate(1), Error);
+}
+
+TEST(Eva, PretrainImprovesLossAndValidity) {
+  core::Eva engine(tiny_config(702));
+  engine.prepare();
+  const auto result = engine.pretrain();
+  EXPECT_FALSE(result.losses.empty());
+  EXPECT_LT(result.losses.back(), result.losses.front());
+  EXPECT_TRUE(std::isfinite(result.final_val_loss));
+}
+
+TEST(Eva, GenerateReturnsAttempts) {
+  core::Eva engine(tiny_config(703));
+  engine.prepare();
+  const auto attempts = engine.generate(5);
+  EXPECT_EQ(attempts.size(), 5u);
+}
+
+TEST(Eva, EvaluateGenerationProducesMetrics) {
+  core::Eva engine(tiny_config(704));
+  engine.prepare();
+  engine.pretrain();
+  const auto ev = engine.evaluate_generation(10);
+  EXPECT_EQ(ev.total, 10);
+  EXPECT_GE(ev.valid, 0);
+  EXPECT_LE(ev.validity_pct, 100.0);
+}
+
+TEST(Eva, LabelForReportsCounts) {
+  core::Eva engine(tiny_config(705));
+  engine.prepare();
+  const auto labels = engine.label_for(CircuitType::OpAmp);
+  EXPECT_GT(labels.labeled_count, 0);
+}
+
+TEST(Eva, SaveLoadRoundTrip) {
+  core::Eva engine(tiny_config(706));
+  engine.prepare();
+  const std::string path = "/tmp/eva_core_ckpt.bin";
+  engine.save_model(path);
+  // Perturb then restore.
+  auto params = engine.model().parameters();
+  params[0].data()[0] += 42.0f;
+  engine.load_model(path);
+  EXPECT_NE(engine.model().parameters()[0].data()[0], 42.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Eva, DpoFinetuneRuns) {
+  core::Eva engine(tiny_config(707));
+  engine.prepare();
+  engine.pretrain();
+  rl::DpoConfig dpo;
+  dpo.steps = 10;
+  dpo.pairs_per_step = 2;
+  const auto stats = engine.finetune_dpo(CircuitType::OpAmp, dpo, 4);
+  EXPECT_EQ(stats.loss.size(), 10u);
+  for (double l : stats.loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Eva, PpoFinetuneRuns) {
+  core::Eva engine(tiny_config(708));
+  engine.prepare();
+  engine.pretrain();
+  rl::PpoConfig ppo;
+  ppo.epochs = 1;
+  ppo.rollouts = 4;
+  ppo.ppo_epochs = 1;
+  ppo.minibatch = 2;
+  ppo.max_len = 64;
+  rl::RewardModelConfig rm;
+  rm.steps = 8;
+  const auto stats = engine.finetune_ppo(CircuitType::OpAmp, ppo, rm);
+  EXPECT_EQ(stats.mean_reward.size(), 1u);
+}
+
+TEST(Eva, DiscoverRuns) {
+  core::Eva engine(tiny_config(709));
+  engine.prepare();
+  engine.pretrain();
+  opt::GaConfig ga;
+  ga.population = 8;
+  ga.generations = 3;
+  const auto res = engine.discover(CircuitType::OpAmp, 3, ga);
+  EXPECT_EQ(res.attempts, 3);
+  EXPECT_GE(res.best_fom, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,351 @@
+// Tests for the mini-SPICE substrate: linear algebra, DC operating points
+// on analytically-solvable circuits, AC behaviour, FoM extraction, and the
+// simulatability oracle over generated topologies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/classify.hpp"
+#include "data/builder.hpp"
+#include "data/generators.hpp"
+#include "spice/engine.hpp"
+#include "spice/fom.hpp"
+#include "spice/mna.hpp"
+#include "spice/sizing.hpp"
+
+namespace {
+
+using namespace eva::spice;
+using namespace eva::circuit;
+using eva::Rng;
+using eva::data::NetBuilder;
+
+// --- dense LU ---------------------------------------------------------------
+
+TEST(Mna, SolvesIdentity) {
+  DenseMatrix<double> a(3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  std::vector<double> b{1, 2, 3};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+TEST(Mna, SolvesGeneralSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  DenseMatrix<double> a(2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  std::vector<double> b{5, 10};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Mna, PivotsOnZeroDiagonal) {
+  DenseMatrix<double> a(2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  std::vector<double> b{2, 3};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Mna, DetectsSingular) {
+  DenseMatrix<double> a(2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(lu_solve(a, b));
+}
+
+TEST(Mna, ComplexSolve) {
+  using cd = std::complex<double>;
+  DenseMatrix<cd> a(1);
+  a.at(0, 0) = cd{0.0, 2.0};
+  std::vector<cd> b{cd{4.0, 0.0}};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0].imag(), -2.0, 1e-12);
+}
+
+// --- sizing -----------------------------------------------------------------
+
+TEST(Sizing, DefaultsWithinBounds) {
+  Rng rng(1);
+  const Netlist nl = eva::data::gen_opamp(rng);
+  const auto space = sizing_space(nl);
+  const auto def = default_sizing(nl);
+  ASSERT_EQ(space.size(), def.value.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_GE(def.value[i], space[i].lo);
+    EXPECT_LE(def.value[i], space[i].hi);
+  }
+}
+
+TEST(Sizing, UnitCubeMapsToBounds) {
+  Rng rng(2);
+  const Netlist nl = eva::data::gen_opamp(rng);
+  const auto space = sizing_space(nl);
+  const std::vector<double> zeros(space.size(), 0.0);
+  const std::vector<double> ones(space.size(), 1.0);
+  const auto lo = sizing_from_unit(nl, zeros);
+  const auto hi = sizing_from_unit(nl, ones);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_NEAR(lo.value[i], space[i].lo, space[i].lo * 1e-9);
+    EXPECT_NEAR(hi.value[i], space[i].hi, space[i].hi * 1e-9);
+  }
+}
+
+// --- DC on analytic circuits --------------------------------------------------
+
+TEST(Dc, ResistorDividerHalvesSupply) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  b.two(DeviceKind::Resistor, "out", "VSS");
+  const Netlist nl = b.take();
+  Simulator sim(nl, default_sizing(nl));
+  ASSERT_TRUE(sim.solve_dc());
+  EXPECT_NEAR(sim.io_voltage(IoPin::Vout1), 0.9, 1e-3);
+}
+
+TEST(Dc, UnequalDividerRatio) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");  // device 0
+  b.two(DeviceKind::Resistor, "out", "VSS");  // device 1
+  const Netlist nl = b.take();
+  Sizing sz = default_sizing(nl);
+  sz.value[0] = 10e3;
+  sz.value[1] = 30e3;
+  Simulator sim(nl, sz);
+  ASSERT_TRUE(sim.solve_dc());
+  EXPECT_NEAR(sim.io_voltage(IoPin::Vout1), 1.8 * 0.75, 1e-3);
+}
+
+TEST(Dc, DiodeDropNearHalfVolt) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  b.two(DeviceKind::Diode, "out", "VSS");
+  const Netlist nl = b.take();
+  Simulator sim(nl, default_sizing(nl));
+  ASSERT_TRUE(sim.solve_dc());
+  const double vd = sim.io_voltage(IoPin::Vout1);
+  EXPECT_GT(vd, 0.4);
+  EXPECT_LT(vd, 0.8);
+}
+
+TEST(Dc, NmosDiodeConnectedSitsAboveVth) {
+  NetBuilder b;
+  b.rails();
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  b.mos(DeviceKind::Nmos, "out", "out", "VSS");  // diode-connected
+  const Netlist nl = b.take();
+  Simulator sim(nl, default_sizing(nl));
+  ASSERT_TRUE(sim.solve_dc());
+  const double v = sim.io_voltage(IoPin::Vout1);
+  EXPECT_GT(v, 0.5);  // must exceed VTH to conduct
+  EXPECT_LT(v, 1.2);
+}
+
+TEST(Dc, CommonSourceOutputBetweenRails) {
+  NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);  // biased at vcm = 0.9 V
+  b.io("out", IoPin::Vout1);
+  b.mos(DeviceKind::Nmos, "in", "out", "VSS");
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const Netlist nl = b.take();
+  Simulator sim(nl, default_sizing(nl));
+  ASSERT_TRUE(sim.solve_dc());
+  const double v = sim.io_voltage(IoPin::Vout1);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.8);
+  EXPECT_GT(sim.supply_power(), 0.0);
+}
+
+TEST(Dc, SupplyPowerScalesWithLoad) {
+  auto run = [](double r) {
+    NetBuilder b;
+    b.rails();
+    b.io("out", IoPin::Vout1);
+    b.two(DeviceKind::Resistor, "VDD", "out");
+    b.two(DeviceKind::Resistor, "out", "VSS");
+    const Netlist nl = b.take();
+    Sizing sz = default_sizing(nl);
+    sz.value[0] = r;
+    sz.value[1] = r;
+    Simulator sim(nl, sz);
+    EXPECT_TRUE(sim.solve_dc());
+    return sim.supply_power();
+  };
+  EXPECT_GT(run(1e3), run(1e4));
+}
+
+// --- AC ------------------------------------------------------------------------
+
+TEST(Ac, RcLowpassCorner) {
+  // R from VIN1 to out, C from out to VSS: f3dB = 1/(2 pi R C).
+  NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);
+  b.io("out", IoPin::Vout1);
+  b.two(DeviceKind::Resistor, "in", "out");   // 10k default
+  b.two(DeviceKind::Capacitor, "out", "VSS"); // 1p default
+  // Anchor VDD somewhere so validity-independent sim still has the rail.
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const Netlist nl = b.take();
+  Sizing sz = default_sizing(nl);
+  sz.value[0] = 1e4;    // R
+  sz.value[1] = 1e-9;   // C (1 nF -> f3dB ~ 15.9 kHz)
+  sz.value[2] = 1e9;    // make the anchor resistor negligible
+
+  SimOptions opts;
+  opts.load_cap = 0.0;  // isolate the intended RC
+  Simulator sim(nl, sz, opts);
+  ASSERT_TRUE(sim.solve_dc());
+  const auto sweep = sim.ac_sweep(10.0, 1e7, 141);
+  const double a0 = std::abs(sweep.front().h);
+  EXPECT_NEAR(a0, 1.0, 0.05);
+  // Find -3 dB point.
+  double f3 = 0;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (std::abs(sweep[i].h) < a0 / std::sqrt(2.0)) {
+      f3 = sweep[i].freq_hz;
+      break;
+    }
+  }
+  const double expected = 1.0 / (2 * 3.14159265 * 1e4 * 1e-9);
+  EXPECT_GT(f3, expected / 2);
+  EXPECT_LT(f3, expected * 2);
+}
+
+TEST(Ac, CommonSourceHasGain) {
+  NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);
+  b.io("out", IoPin::Vout1);
+  b.mos(DeviceKind::Nmos, "in", "out", "VSS");
+  b.two(DeviceKind::Resistor, "VDD", "out");
+  const Netlist nl = b.take();
+  Simulator sim(nl, default_sizing(nl));
+  ASSERT_TRUE(sim.solve_dc());
+  const auto sweep = sim.ac_sweep();
+  // gm * RL > 1 for default sizing.
+  EXPECT_GT(std::abs(sweep.front().h), 1.0);
+  // Gain must roll off at high frequency due to the output load cap.
+  EXPECT_LT(std::abs(sweep.back().h), std::abs(sweep.front().h));
+}
+
+// --- FoM ------------------------------------------------------------------------
+
+TEST(Fom, OpAmpEvaluates) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Netlist nl = eva::data::gen_opamp(rng);
+    const auto perf = evaluate_default(nl, CircuitType::OpAmp);
+    if (!perf.ok) continue;
+    EXPECT_GE(perf.fom, 0.0);
+    EXPECT_GT(perf.power_w, 0.0);
+    return;  // at least one op-amp evaluated
+  }
+  FAIL() << "no generated op-amp produced a DC point";
+}
+
+TEST(Fom, BuckConverterStepsDown) {
+  // Non-synchronous buck built explicitly.
+  NetBuilder b;
+  b.rails();
+  b.io("clk", IoPin::Clk1);
+  b.mos(DeviceKind::Pmos, "clk", "sw", "VDD");
+  b.two(DeviceKind::Diode, "VSS", "sw");
+  b.two(DeviceKind::Inductor, "sw", "out");
+  b.two(DeviceKind::Capacitor, "out", "VSS");
+  b.io("out", IoPin::Vout1);
+  const Netlist nl = b.take();
+  const auto perf = evaluate_default(nl, CircuitType::PowerConverter);
+  ASSERT_TRUE(perf.ok);
+  EXPECT_GT(perf.ratio, 0.05);
+  EXPECT_LT(perf.ratio, 1.0);  // buck: output below the supply
+  EXPECT_GT(perf.efficiency, 0.0);
+  EXPECT_LE(perf.efficiency, 1.0);
+  EXPECT_GT(perf.fom, 0.0);
+}
+
+TEST(Fom, GeneratedConvertersEvaluate) {
+  Rng rng(6);
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Netlist nl = eva::data::gen_power_converter(rng);
+    const auto perf = evaluate_default(nl, CircuitType::PowerConverter);
+    ok += perf.ok;
+  }
+  EXPECT_GE(ok, 5);
+}
+
+TEST(Fom, InvalidNetlistNotOk) {
+  Netlist empty;
+  const auto perf = evaluate_default(empty, CircuitType::OpAmp);
+  EXPECT_FALSE(perf.ok);
+}
+
+TEST(Fom, BiggerInputPairRaisesOpAmpFom) {
+  // Monotonicity sanity for the GA: widening the input devices of a fixed
+  // 5T OTA topology should not reduce gain*GBW/power catastrophically.
+  NetBuilder b;
+  b.rails();
+  b.io("inp", IoPin::Vin1);
+  b.io("inn", IoPin::Vin2);
+  b.io("bt", IoPin::Vb1);
+  b.mos(DeviceKind::Nmos, "inp", "d1", "tail");  // 0
+  b.mos(DeviceKind::Nmos, "inn", "out", "tail"); // 1
+  b.mos(DeviceKind::Nmos, "bt", "tail", "VSS");  // 2
+  b.mos(DeviceKind::Pmos, "d1", "d1", "VDD");    // 3
+  b.mos(DeviceKind::Pmos, "d1", "out", "VDD");   // 4
+  b.io("out", IoPin::Vout1);
+  const Netlist nl = b.take();
+
+  auto fom_with_w = [&](double w) {
+    Sizing sz = default_sizing(nl);
+    sz.value[0] = w;
+    sz.value[1] = w;
+    const auto perf = evaluate(nl, sz, CircuitType::OpAmp);
+    EXPECT_TRUE(perf.ok);
+    return perf.fom;
+  };
+  const double f_small = fom_with_w(2e-6);
+  const double f_big = fom_with_w(4e-5);
+  EXPECT_GT(f_big, 0.0);
+  EXPECT_GT(f_small, 0.0);
+}
+
+TEST(Simulatable, AcceptsGeneratedTopologies) {
+  Rng rng(7);
+  int ok = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    const Netlist nl = eva::data::generate(
+        static_cast<CircuitType>(i % 11), rng);
+    ok += simulatable(nl);
+  }
+  EXPECT_GE(ok, n * 3 / 5);
+}
+
+TEST(Simulatable, RejectsStructurallyInvalid) {
+  Netlist nl;  // empty
+  EXPECT_FALSE(simulatable(nl));
+}
+
+}  // namespace

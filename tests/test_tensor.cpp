@@ -1,0 +1,482 @@
+// Unit tests for the autodiff tensor engine: forward values, gradient
+// checks against finite differences for every op, optimizers, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "tensor/optim.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eva::tensor;
+using eva::Rng;
+
+/// Numeric gradient check: f builds a fresh graph from the leaf each call.
+void grad_check(Tensor leaf, const std::function<Tensor(const Tensor&)>& f,
+                float tol = 2e-2f) {
+  leaf.zero_grad();  // leaves are reused across checks within a test
+  Tensor loss = f(leaf);
+  ASSERT_EQ(loss.numel(), 1u);
+  loss.backward();
+  std::vector<float> analytic(leaf.grad().begin(), leaf.grad().end());
+
+  const float eps = 1e-2f;
+  auto data = leaf.data();
+  for (std::size_t i = 0; i < leaf.numel(); ++i) {
+    const float orig = data[i];
+    data[i] = orig + eps;
+    const float up = f(leaf).item();
+    data[i] = orig - eps;
+    const float down = f(leaf).item();
+    data[i] = orig;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0f, std::abs(numeric)))
+        << "grad mismatch at index " << i;
+  }
+}
+
+TEST(Tensor, FactoriesAndIntrospection) {
+  auto t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 3);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+
+  auto f = Tensor::full({2}, 3.5f);
+  EXPECT_EQ(f.data()[0], 3.5f);
+  EXPECT_FALSE(f.requires_grad());
+
+  Rng rng(1);
+  auto r = Tensor::randn({100}, rng, 2.0f);
+  EXPECT_TRUE(r.requires_grad());
+}
+
+TEST(Tensor, AddSameShape) {
+  auto a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::from({2, 2}, {10, 20, 30, 40});
+  auto c = add(a, b);
+  EXPECT_EQ(c.data()[3], 44.0f);
+}
+
+TEST(Tensor, AddSuffixBroadcast) {
+  auto a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto b = Tensor::from({3}, {10, 20, 30});
+  auto c = add(a, b);
+  EXPECT_EQ(c.data()[0], 11.0f);
+  EXPECT_EQ(c.data()[5], 36.0f);
+}
+
+TEST(Tensor, AddScalarOperandBroadcast) {
+  auto a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  auto s = Tensor::scalar(100.0f);
+  auto c = add(a, s);
+  EXPECT_EQ(c.data()[2], 103.0f);
+}
+
+TEST(Tensor, MulGradBothOperands) {
+  Rng rng(2);
+  auto a = Tensor::randn({6}, rng, 1.0f);
+  grad_check(a, [](const Tensor& x) {
+    auto y = Tensor::from({6}, {1, -2, 3, 0.5f, 2, -1});
+    return sum_all(mul(x, y));
+  });
+}
+
+TEST(Tensor, BroadcastGradReducesToSuffix) {
+  Rng rng(3);
+  auto b = Tensor::randn({3}, rng, 1.0f);
+  grad_check(b, [](const Tensor& x) {
+    auto a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+    return sum_all(mul(a, x));
+  });
+}
+
+TEST(Tensor, SubAndScalarOps) {
+  Rng rng(4);
+  auto a = Tensor::randn({5}, rng, 1.0f);
+  grad_check(a, [](const Tensor& x) {
+    return sum_all(add_scalar(mul_scalar(sub(x, Tensor::full({5}, 1.0f)), 3.0f),
+                              2.0f));
+  });
+}
+
+TEST(Tensor, UnaryOpsForward) {
+  auto x = Tensor::from({3}, {-1.0f, 0.0f, 1.0f});
+  EXPECT_NEAR(relu(x).data()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(relu(x).data()[2], 1.0f, 1e-6);
+  EXPECT_NEAR(tanh_t(x).data()[2], std::tanh(1.0f), 1e-6);
+  EXPECT_NEAR(sigmoid(x).data()[1], 0.5f, 1e-6);
+  EXPECT_NEAR(exp_t(x).data()[2], std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(square(x).data()[0], 1.0f, 1e-6);
+  EXPECT_NEAR(neg(x).data()[2], -1.0f, 1e-6);
+}
+
+TEST(Tensor, UnaryGradChecks) {
+  Rng rng(5);
+  auto x = Tensor::randn({8}, rng, 0.7f);
+  grad_check(x, [](const Tensor& t) { return sum_all(tanh_t(t)); });
+  grad_check(x, [](const Tensor& t) { return sum_all(sigmoid(t)); });
+  grad_check(x, [](const Tensor& t) { return sum_all(gelu(t)); });
+  grad_check(x, [](const Tensor& t) { return sum_all(square(t)); });
+  grad_check(x, [](const Tensor& t) { return sum_all(exp_t(mul_scalar(t, 0.5f))); });
+}
+
+TEST(Tensor, LogGrad) {
+  auto x = Tensor::from({4}, {0.5f, 1.0f, 2.0f, 3.0f}, true);
+  grad_check(x, [](const Tensor& t) { return sum_all(log_t(t)); });
+}
+
+TEST(Tensor, Matmul2D) {
+  auto a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto b = Tensor::from({3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = matmul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.data()[0], 58.0f);   // 1*7+2*9+3*11
+  EXPECT_EQ(c.data()[3], 154.0f);  // 4*8+5*10+6*12
+}
+
+TEST(Tensor, Matmul2DGrad) {
+  Rng rng(6);
+  auto a = Tensor::randn({3, 4}, rng, 0.5f);
+  grad_check(a, [](const Tensor& x) {
+    auto w = Tensor::from({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+    return sum_all(matmul(x, w));
+  });
+  auto w = Tensor::randn({4, 2}, rng, 0.5f);
+  grad_check(w, [](const Tensor& x) {
+    auto a2 = Tensor::from({3, 4}, {1, 0, 2, -1, 3, 1, 0, 2, -2, 1, 1, 0});
+    return sum_all(matmul(a2, x));
+  });
+}
+
+TEST(Tensor, Matmul3Dx2D) {
+  Rng rng(7);
+  auto a = Tensor::randn({2, 3, 4}, rng, 0.5f);
+  auto w = Tensor::randn({4, 5}, rng, 0.5f);
+  auto c = matmul(a, w);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+  grad_check(a, [&w](const Tensor& x) { return sum_all(matmul(x, w.detach())); });
+  grad_check(w, [&a](const Tensor& x) { return sum_all(matmul(a.detach(), x)); });
+}
+
+TEST(Tensor, BatchedMatmulGrad) {
+  Rng rng(8);
+  auto a = Tensor::randn({2, 2, 3}, rng, 0.5f);
+  auto b = Tensor::randn({2, 3, 2}, rng, 0.5f);
+  auto c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  grad_check(a, [&b](const Tensor& x) { return sum_all(matmul(x, b.detach())); });
+  grad_check(b, [&a](const Tensor& x) { return sum_all(matmul(a.detach(), x)); });
+}
+
+TEST(Tensor, TransposeLast) {
+  auto a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto t = transpose_last(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.data()[0], 1.0f);
+  EXPECT_EQ(t.data()[1], 4.0f);
+  Rng rng(9);
+  auto x = Tensor::randn({2, 2, 3}, rng, 1.0f);
+  grad_check(x, [](const Tensor& t2) {
+    auto w = Tensor::from({2, 3, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+    return sum_all(mul(transpose_last(t2), w));
+  });
+}
+
+TEST(Tensor, ReshapeRoundTrip) {
+  auto a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  auto r = reshape(a, {3, 2});
+  EXPECT_EQ(r.data()[4], 5.0f);
+  grad_check(a, [](const Tensor& x) {
+    return sum_all(square(reshape(x, {6})));
+  });
+}
+
+TEST(Tensor, SplitMergeHeadsInverse) {
+  Rng rng(10);
+  auto x = Tensor::randn({2, 3, 4}, rng, 1.0f);  // B=2 T=3 C=4, H=2
+  auto s = split_heads(x, 2);
+  EXPECT_EQ(s.shape(), (Shape{4, 3, 2}));
+  auto m = merge_heads(s, 2);
+  ASSERT_EQ(m.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], x.data()[i]);
+  }
+  grad_check(x, [](const Tensor& t) {
+    return sum_all(square(split_heads(t, 2)));
+  });
+}
+
+TEST(Tensor, SoftmaxRowsSumToOne) {
+  Rng rng(11);
+  auto x = Tensor::randn({3, 5}, rng, 2.0f);
+  auto s = softmax_lastdim(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 5; ++c) sum += s.data()[r * 5 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  grad_check(x, [](const Tensor& t) {
+    auto w = Tensor::from({3, 5}, std::vector<float>(15, 0.0f));
+    w.data()[2] = 1.0f;
+    w.data()[7] = -2.0f;
+    return sum_all(mul(softmax_lastdim(t), w));
+  });
+}
+
+TEST(Tensor, CausalSoftmaxMasksFuture) {
+  auto x = Tensor::full({1, 3, 3}, 1.0f, true);
+  auto s = causal_softmax(x, 3);
+  // Row 0 attends only to col 0.
+  EXPECT_NEAR(s.data()[0], 1.0f, 1e-6);
+  EXPECT_NEAR(s.data()[1], 0.0f, 1e-6);
+  // Row 1: two valid entries of equal score.
+  EXPECT_NEAR(s.data()[3], 0.5f, 1e-6);
+  EXPECT_NEAR(s.data()[4], 0.5f, 1e-6);
+  EXPECT_NEAR(s.data()[5], 0.0f, 1e-6);
+}
+
+TEST(Tensor, CausalSoftmaxGrad) {
+  Rng rng(12);
+  auto x = Tensor::randn({2, 3, 3}, rng, 1.0f);  // (B*H=2, T=3, T=3)
+  grad_check(x, [](const Tensor& t) {
+    auto w = Tensor::from({2, 3, 3},
+                          {1, 0, 0, -1, 2, 0, 0.5f, 1, -2,
+                           0, 1, 0, 2, -1, 0, 1, 0.5f, 1});
+    return sum_all(mul(causal_softmax(t, 3), w));
+  });
+}
+
+TEST(Tensor, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(13);
+  auto x = Tensor::randn({2, 4}, rng, 1.5f);
+  auto ls = log_softmax_lastdim(x);
+  auto s = softmax_lastdim(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5);
+  }
+  grad_check(x, [](const Tensor& t) {
+    auto w = Tensor::from({2, 4}, {1, 0, -1, 2, 0.5f, 1, 0, -2});
+    return sum_all(mul(log_softmax_lastdim(t), w));
+  });
+}
+
+TEST(Tensor, LayernormNormalizes) {
+  Rng rng(14);
+  auto x = Tensor::randn({4, 8}, rng, 3.0f);
+  auto gamma = Tensor::full({8}, 1.0f);
+  auto beta = Tensor::zeros({8});
+  auto y = layernorm(x, gamma, beta);
+  for (int r = 0; r < 4; ++r) {
+    float mu = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mu += y.data()[r * 8 + c];
+    mu /= 8;
+    for (int c = 0; c < 8; ++c) {
+      const float d = y.data()[r * 8 + c] - mu;
+      var += d * d;
+    }
+    EXPECT_NEAR(mu, 0.0f, 1e-4);
+    EXPECT_NEAR(var / 8, 1.0f, 1e-2);
+  }
+}
+
+TEST(Tensor, LayernormGradAllInputs) {
+  Rng rng(15);
+  auto x = Tensor::randn({2, 4}, rng, 1.0f);
+  auto gamma = Tensor::randn({4}, rng, 0.3f);
+  auto beta = Tensor::randn({4}, rng, 0.3f);
+  auto wrap = [&](const Tensor& t) {
+    return sum_all(square(layernorm(t, gamma, beta)));
+  };
+  grad_check(x, wrap, 5e-2f);
+  grad_check(gamma, [&](const Tensor& g) {
+    return sum_all(square(layernorm(x, g, beta)));
+  });
+  grad_check(beta, [&](const Tensor& bb) {
+    return sum_all(square(layernorm(x, gamma, bb)));
+  });
+}
+
+TEST(Tensor, EmbeddingGatherAndScatter) {
+  auto table = Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6}, true);
+  auto e = embedding(table, {2, 0, 2}, 1, 3);
+  EXPECT_EQ(e.shape(), (Shape{1, 3, 2}));
+  EXPECT_EQ(e.data()[0], 5.0f);
+  EXPECT_EQ(e.data()[2], 1.0f);
+  grad_check(table, [](const Tensor& t) {
+    return sum_all(square(embedding(t, {2, 0, 2}, 1, 3)));
+  });
+}
+
+TEST(Tensor, CrossEntropyValueAndGrad) {
+  // Uniform logits over V=4: loss = log(4).
+  auto logits = Tensor::zeros({2, 4}, true);
+  auto loss = cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+  Rng rng(16);
+  auto x = Tensor::randn({3, 5}, rng, 1.0f);
+  grad_check(x, [](const Tensor& t) {
+    return cross_entropy(t, {0, 2, 4});
+  });
+}
+
+TEST(Tensor, CrossEntropyIgnoreIndex) {
+  auto logits = Tensor::from({2, 2}, {10, 0, 0, 10}, true);
+  // Second row ignored: loss comes from row 0 only.
+  auto loss = cross_entropy(logits, {0, -1}, -1);
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-3);
+  loss.backward();
+  // Ignored row gets zero grad.
+  EXPECT_FLOAT_EQ(logits.grad()[2], 0.0f);
+  EXPECT_FLOAT_EQ(logits.grad()[3], 0.0f);
+}
+
+TEST(Tensor, GatherLastdim) {
+  auto x = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  auto g = gather_lastdim(x, {2, 0});
+  EXPECT_EQ(g.data()[0], 3.0f);
+  EXPECT_EQ(g.data()[1], 4.0f);
+  grad_check(x, [](const Tensor& t) {
+    return sum_all(square(gather_lastdim(t, {2, 0})));
+  });
+}
+
+TEST(Tensor, MaskedMean) {
+  auto x = Tensor::from({4}, {1, 2, 3, 4}, true);
+  auto m = masked_mean(x, {1, 0, 1, 0});
+  EXPECT_NEAR(m.item(), 2.0f, 1e-6);
+  grad_check(x, [](const Tensor& t) {
+    return masked_mean(t, {1, 0, 1, 0});
+  });
+}
+
+TEST(Tensor, DropoutTrainAndEval) {
+  Rng rng(17);
+  auto x = Tensor::full({1000}, 1.0f, true);
+  auto y = dropout(x, 0.5f, rng, true);
+  int zeros = 0;
+  for (float v : y.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 2.0f, 1e-6);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(zeros, 500, 80);
+  // Eval mode: identity (same node).
+  auto z = dropout(x, 0.5f, rng, false);
+  EXPECT_EQ(z.node().get(), x.node().get());
+}
+
+TEST(Tensor, GradAccumulatesOnReuse) {
+  auto x = Tensor::from({1}, {3.0f}, true);
+  auto y = add(x, x);  // dy/dx = 2
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Tensor, DetachStopsGradient) {
+  auto x = Tensor::from({2}, {1.0f, 2.0f}, true);
+  auto d = x.detach();
+  EXPECT_FALSE(d.requires_grad());
+  auto loss = sum_all(mul(x, d));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+// --- optim -----------------------------------------------------------------
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+  auto w = Tensor::from({1}, {5.0f}, true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    auto loss = square(w);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-3);
+}
+
+TEST(Optim, AdamWFitsLinearRegression) {
+  // Fit y = 2x + 1 from 16 points.
+  Rng rng(18);
+  std::vector<float> xs(16), ys(16);
+  for (int i = 0; i < 16; ++i) {
+    xs[static_cast<std::size_t>(i)] = static_cast<float>(i) / 8.0f - 1.0f;
+    ys[static_cast<std::size_t>(i)] = 2.0f * xs[static_cast<std::size_t>(i)] + 1.0f;
+  }
+  auto w = Tensor::from({1}, {0.0f}, true);
+  auto b = Tensor::from({1}, {0.0f}, true);
+  AdamW opt({w, b}, {.lr = 0.05f});
+  for (int step = 0; step < 400; ++step) {
+    opt.zero_grad();
+    auto x = Tensor::from({16}, xs);
+    auto y = Tensor::from({16}, ys);
+    auto pred = add(mul(x, w), b);
+    auto loss = mean_all(square(sub(pred, y)));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.data()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(b.data()[0], 1.0f, 0.05f);
+}
+
+TEST(Optim, ClipGradNorm) {
+  auto a = Tensor::from({2}, {0.0f, 0.0f}, true);
+  auto loss = sum_all(mul_scalar(a, 100.0f));
+  loss.backward();
+  std::vector<Tensor> params{a};
+  const double pre = clip_grad_norm(params, 1.0);
+  EXPECT_NEAR(pre, 100.0 * std::sqrt(2.0), 1e-3);
+  double post = 0;
+  for (float g : a.grad()) post += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-4);
+}
+
+// --- serialize ---------------------------------------------------------------
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  Rng rng(19);
+  std::vector<Tensor> params{Tensor::randn({3, 4}, rng, 1.0f),
+                             Tensor::randn({5}, rng, 1.0f)};
+  const std::string path = "/tmp/eva_test_ckpt.bin";
+  save_params(params, path);
+
+  std::vector<Tensor> loaded{Tensor::zeros({3, 4}, true),
+                             Tensor::zeros({5}, true)};
+  load_params(loaded, path);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p].numel(); ++i) {
+      EXPECT_FLOAT_EQ(loaded[p].data()[i], params[p].data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsShapeMismatch) {
+  Rng rng(20);
+  std::vector<Tensor> params{Tensor::randn({2, 2}, rng, 1.0f)};
+  const std::string path = "/tmp/eva_test_ckpt2.bin";
+  save_params(params, path);
+  std::vector<Tensor> wrong{Tensor::zeros({4}, true)};
+  EXPECT_THROW(load_params(wrong, path), eva::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CopyParams) {
+  std::vector<Tensor> src{Tensor::from({2}, {1, 2})};
+  std::vector<Tensor> dst{Tensor::zeros({2})};
+  copy_params(src, dst);
+  EXPECT_FLOAT_EQ(dst[0].data()[1], 2.0f);
+  EXPECT_EQ(count_params(src), 2u);
+}
+
+}  // namespace
