@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_losses.dir/bench_fig4_losses.cpp.o"
+  "CMakeFiles/bench_fig4_losses.dir/bench_fig4_losses.cpp.o.d"
+  "bench_fig4_losses"
+  "bench_fig4_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reward.dir/bench_table1_reward.cpp.o"
+  "CMakeFiles/bench_table1_reward.dir/bench_table1_reward.cpp.o.d"
+  "bench_table1_reward"
+  "bench_table1_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

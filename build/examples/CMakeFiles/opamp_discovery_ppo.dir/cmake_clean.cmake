@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_discovery_ppo.dir/opamp_discovery_ppo.cpp.o"
+  "CMakeFiles/opamp_discovery_ppo.dir/opamp_discovery_ppo.cpp.o.d"
+  "opamp_discovery_ppo"
+  "opamp_discovery_ppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_discovery_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_converter_dpo.dir/power_converter_dpo.cpp.o"
+  "CMakeFiles/power_converter_dpo.dir/power_converter_dpo.cpp.o.d"
+  "power_converter_dpo"
+  "power_converter_dpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_converter_dpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/eva_baselines.dir/baselines.cpp.o.d"
+  "libeva_baselines.a"
+  "libeva_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

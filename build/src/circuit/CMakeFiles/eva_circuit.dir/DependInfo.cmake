@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/canon.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/canon.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/canon.cpp.o.d"
+  "/root/repo/src/circuit/classify.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/classify.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/classify.cpp.o.d"
+  "/root/repo/src/circuit/graphstats.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/graphstats.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/graphstats.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/pingraph.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/pingraph.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/pingraph.cpp.o.d"
+  "/root/repo/src/circuit/validity.cpp" "src/circuit/CMakeFiles/eva_circuit.dir/validity.cpp.o" "gcc" "src/circuit/CMakeFiles/eva_circuit.dir/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

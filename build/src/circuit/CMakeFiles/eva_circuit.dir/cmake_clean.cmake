@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_circuit.dir/canon.cpp.o"
+  "CMakeFiles/eva_circuit.dir/canon.cpp.o.d"
+  "CMakeFiles/eva_circuit.dir/classify.cpp.o"
+  "CMakeFiles/eva_circuit.dir/classify.cpp.o.d"
+  "CMakeFiles/eva_circuit.dir/graphstats.cpp.o"
+  "CMakeFiles/eva_circuit.dir/graphstats.cpp.o.d"
+  "CMakeFiles/eva_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/eva_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/eva_circuit.dir/pingraph.cpp.o"
+  "CMakeFiles/eva_circuit.dir/pingraph.cpp.o.d"
+  "CMakeFiles/eva_circuit.dir/validity.cpp.o"
+  "CMakeFiles/eva_circuit.dir/validity.cpp.o.d"
+  "libeva_circuit.a"
+  "libeva_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eva.cpp" "src/core/CMakeFiles/eva_core.dir/eva.cpp.o" "gcc" "src/core/CMakeFiles/eva_core.dir/eva.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/eva_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/eva_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/eva_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eva_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eva_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/eva_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/eva_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_core.dir/eva.cpp.o"
+  "CMakeFiles/eva_core.dir/eva.cpp.o.d"
+  "libeva_core.a"
+  "libeva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/builder.cpp" "src/data/CMakeFiles/eva_data.dir/builder.cpp.o" "gcc" "src/data/CMakeFiles/eva_data.dir/builder.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/eva_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/eva_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/data/CMakeFiles/eva_data.dir/generators.cpp.o" "gcc" "src/data/CMakeFiles/eva_data.dir/generators.cpp.o.d"
+  "/root/repo/src/data/mutate.cpp" "src/data/CMakeFiles/eva_data.dir/mutate.cpp.o" "gcc" "src/data/CMakeFiles/eva_data.dir/mutate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/eva_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/eva_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

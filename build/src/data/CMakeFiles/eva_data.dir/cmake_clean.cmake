@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_data.dir/builder.cpp.o"
+  "CMakeFiles/eva_data.dir/builder.cpp.o.d"
+  "CMakeFiles/eva_data.dir/dataset.cpp.o"
+  "CMakeFiles/eva_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/eva_data.dir/generators.cpp.o"
+  "CMakeFiles/eva_data.dir/generators.cpp.o.d"
+  "CMakeFiles/eva_data.dir/mutate.cpp.o"
+  "CMakeFiles/eva_data.dir/mutate.cpp.o.d"
+  "libeva_data.a"
+  "libeva_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

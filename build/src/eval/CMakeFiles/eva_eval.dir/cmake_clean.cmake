@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_eval.dir/metrics.cpp.o"
+  "CMakeFiles/eva_eval.dir/metrics.cpp.o.d"
+  "libeva_eval.a"
+  "libeva_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/lm_trainer.cpp" "src/nn/CMakeFiles/eva_nn.dir/lm_trainer.cpp.o" "gcc" "src/nn/CMakeFiles/eva_nn.dir/lm_trainer.cpp.o.d"
+  "/root/repo/src/nn/sampler.cpp" "src/nn/CMakeFiles/eva_nn.dir/sampler.cpp.o" "gcc" "src/nn/CMakeFiles/eva_nn.dir/sampler.cpp.o.d"
+  "/root/repo/src/nn/tokenizer.cpp" "src/nn/CMakeFiles/eva_nn.dir/tokenizer.cpp.o" "gcc" "src/nn/CMakeFiles/eva_nn.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/eva_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/eva_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/eva_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/eva_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eva_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/eva_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_nn.dir/lm_trainer.cpp.o"
+  "CMakeFiles/eva_nn.dir/lm_trainer.cpp.o.d"
+  "CMakeFiles/eva_nn.dir/sampler.cpp.o"
+  "CMakeFiles/eva_nn.dir/sampler.cpp.o.d"
+  "CMakeFiles/eva_nn.dir/tokenizer.cpp.o"
+  "CMakeFiles/eva_nn.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/eva_nn.dir/transformer.cpp.o"
+  "CMakeFiles/eva_nn.dir/transformer.cpp.o.d"
+  "libeva_nn.a"
+  "libeva_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeva_nn.a"
+)

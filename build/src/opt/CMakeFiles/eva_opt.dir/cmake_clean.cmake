@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_opt.dir/ga.cpp.o"
+  "CMakeFiles/eva_opt.dir/ga.cpp.o.d"
+  "libeva_opt.a"
+  "libeva_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

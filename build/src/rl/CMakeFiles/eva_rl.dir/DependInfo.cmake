@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dpo.cpp" "src/rl/CMakeFiles/eva_rl.dir/dpo.cpp.o" "gcc" "src/rl/CMakeFiles/eva_rl.dir/dpo.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/eva_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/eva_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/reward_model.cpp" "src/rl/CMakeFiles/eva_rl.dir/reward_model.cpp.o" "gcc" "src/rl/CMakeFiles/eva_rl.dir/reward_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/eva_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/eva_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/eva_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eva_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/eva_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_rl.dir/dpo.cpp.o"
+  "CMakeFiles/eva_rl.dir/dpo.cpp.o.d"
+  "CMakeFiles/eva_rl.dir/ppo.cpp.o"
+  "CMakeFiles/eva_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/eva_rl.dir/reward_model.cpp.o"
+  "CMakeFiles/eva_rl.dir/reward_model.cpp.o.d"
+  "libeva_rl.a"
+  "libeva_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

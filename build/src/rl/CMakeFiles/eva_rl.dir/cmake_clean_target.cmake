@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeva_rl.a"
+)

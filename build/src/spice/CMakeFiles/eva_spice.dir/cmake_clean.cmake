@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_spice.dir/engine.cpp.o"
+  "CMakeFiles/eva_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/eva_spice.dir/fom.cpp.o"
+  "CMakeFiles/eva_spice.dir/fom.cpp.o.d"
+  "CMakeFiles/eva_spice.dir/sizing.cpp.o"
+  "CMakeFiles/eva_spice.dir/sizing.cpp.o.d"
+  "libeva_spice.a"
+  "libeva_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

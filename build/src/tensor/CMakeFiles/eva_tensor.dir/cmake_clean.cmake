@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_tensor.dir/optim.cpp.o"
+  "CMakeFiles/eva_tensor.dir/optim.cpp.o.d"
+  "CMakeFiles/eva_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/eva_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/eva_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/eva_tensor.dir/tensor.cpp.o.d"
+  "libeva_tensor.a"
+  "libeva_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eva_util.dir/io.cpp.o"
+  "CMakeFiles/eva_util.dir/io.cpp.o.d"
+  "CMakeFiles/eva_util.dir/parallel.cpp.o"
+  "CMakeFiles/eva_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/eva_util.dir/stats.cpp.o"
+  "CMakeFiles/eva_util.dir/stats.cpp.o.d"
+  "libeva_util.a"
+  "libeva_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eva_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_eval.dir/test_opt_eval.cpp.o"
+  "CMakeFiles/test_opt_eval.dir/test_opt_eval.cpp.o.d"
+  "test_opt_eval"
+  "test_opt_eval.pdb"
+  "test_opt_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
