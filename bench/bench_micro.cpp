@@ -11,6 +11,7 @@
 #include "nn/transformer.hpp"
 #include "spice/engine.hpp"
 #include "spice/fom.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
@@ -18,6 +19,58 @@ namespace {
 using namespace eva;
 
 // --- tensor ---------------------------------------------------------------
+
+// Raw kernel throughput for the three GEMM shapes the training loop
+// exercises: nn (forward), nt (input-gradient), tn (weight-gradient).
+// items_per_second == FLOP/s; read it as GFLOP/s.
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int ni = static_cast<int>(n);
+  Rng rng(41);
+  auto a = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  auto b = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm_nn(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int ni = static_cast<int>(n);
+  Rng rng(42);
+  auto a = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  auto b = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm_nt(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int ni = static_cast<int>(n);
+  Rng rng(43);
+  auto a = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  auto b = tensor::Tensor::randn({ni, ni}, rng, 1.0f, false);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm_tn(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
 
 void BM_TensorMatmul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -62,6 +115,29 @@ void BM_KvCacheTokenThroughput(benchmark::State& state) {
   state.SetItemsProcessed(produced);
 }
 BENCHMARK(BM_KvCacheTokenThroughput);
+
+// End-to-end generation: KV-cache inference + legality masking + top-k
+// sampling, the loop batched topology discovery spends its time in.
+// items_per_second == sampled tokens/sec.
+void BM_SampleTokenThroughput(benchmark::State& state) {
+  const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
+  Rng rng(30);
+  nn::ModelConfig cfg = nn::ModelConfig::bench_scale(tok.vocab_size());
+  nn::TransformerLM model(cfg, rng);
+  nn::SampleOptions opts;
+  opts.temperature = 0.9f;
+  opts.top_k = 12;
+  opts.max_len = 96;
+  Rng sample_rng(31);
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    const auto res = nn::sample_sequence(model, tok, sample_rng, opts);
+    tokens += static_cast<std::int64_t>(res.ids.size());
+    benchmark::DoNotOptimize(res.ids.data());
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_SampleTokenThroughput)->Unit(benchmark::kMillisecond);
 
 // --- circuit ----------------------------------------------------------------
 

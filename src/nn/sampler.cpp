@@ -13,18 +13,23 @@ namespace {
 
 /// Sample from logits with temperature and optional top-k; returns the
 /// token id and its log-probability under the *sampling* distribution.
+/// `scratch` is caller-owned top-k workspace reused across the whole
+/// sampled sequence (one allocation per sequence instead of one V-sized
+/// vector per token).
 std::pair<int, float> sample_from_logits(std::vector<float>& logits, Rng& rng,
-                                         float temperature, int top_k) {
+                                         float temperature, int top_k,
+                                         std::vector<float>& scratch) {
   const int V = static_cast<int>(logits.size());
   const float invt = 1.0f / std::max(temperature, 1e-4f);
   for (auto& l : logits) l *= invt;
 
   if (top_k > 0 && top_k < V) {
-    // Mask everything below the k-th largest logit.
-    std::vector<float> copy = logits;
-    std::nth_element(copy.begin(), copy.begin() + (top_k - 1), copy.end(),
-                     std::greater<float>());
-    const float kth = copy[static_cast<std::size_t>(top_k - 1)];
+    // Mask everything below the k-th largest logit. nth_element runs on
+    // the scratch copy so the original order survives for masking.
+    scratch.assign(logits.begin(), logits.end());
+    std::nth_element(scratch.begin(), scratch.begin() + (top_k - 1),
+                     scratch.end(), std::greater<float>());
+    const float kth = scratch[static_cast<std::size_t>(top_k - 1)];
     for (auto& l : logits) {
       if (l < kth) l = -1e30f;
     }
@@ -412,6 +417,7 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
   SampleResult res;
   auto cache = model.make_cache();
   std::vector<float> logits;
+  std::vector<float> topk_scratch;
   WalkLegality legality(tok);
   int token = tok.start_token();
   res.ids.push_back(token);
@@ -440,15 +446,15 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
       for (int tries = 0; tries < 8; ++tries) {
         const auto pick = sample_from_logits(
             logits, rng, tries == 0 ? opts.temperature : 1.0f,
-            tries == 0 ? opts.top_k : 0);
+            tries == 0 ? opts.top_k : 0, topk_scratch);
         next = pick.first;
         logp = pick.second;
         if (!legality.illegal_transition(next, tok.start_token(), vdd)) break;
         logits[static_cast<std::size_t>(next)] = -1e30f;
       }
     } else {
-      const auto pick =
-          sample_from_logits(logits, rng, opts.temperature, opts.top_k);
+      const auto pick = sample_from_logits(logits, rng, opts.temperature,
+                                           opts.top_k, topk_scratch);
       next = pick.first;
       logp = pick.second;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+
 namespace eva::nn {
 
 using namespace eva::tensor;
@@ -171,16 +173,12 @@ TransformerLM::Cache TransformerLM::make_cache() const {
 
 namespace {
 
-// y = x @ W + b where W is (in,out), all plain float.
+// y = x @ W + b where W is (in,out). Backed by the same register-tiled
+// kernel family as the training matmuls (tensor/gemm.hpp).
 void linear(const float* x, std::span<const float> w, std::span<const float> b,
             float* y, int in, int out) {
-  for (int o = 0; o < out; ++o) y[o] = b.empty() ? 0.0f : b[static_cast<std::size_t>(o)];
-  for (int i = 0; i < in; ++i) {
-    const float xv = x[i];
-    if (xv == 0.0f) continue;
-    const float* wr = w.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out);
-    for (int o = 0; o < out; ++o) y[o] += xv * wr[o];
-  }
+  tensor::gemv(x, w.data(), b.empty() ? nullptr : b.data(), y,
+               static_cast<std::size_t>(in), static_cast<std::size_t>(out));
 }
 
 void layernorm_inplace(float* x, std::span<const float> g,

@@ -1,0 +1,164 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace eva::tensor {
+
+namespace {
+
+// Register tile: MR rows x NR columns of C. NR = 32 floats = two 64-byte
+// cache lines per row, picked empirically: with AVX2/AVX-512 the full
+// tile maps onto the vector register file, and even baseline x86-64
+// codegen keeps the accumulators hot (see DESIGN.md "Threading &
+// kernels" for the measured sweep).
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 32;
+// K-panel bound: keeps the nt transpose scratch (kKc * kNr floats) and
+// the B panel touched by one tile pass L1/L2-resident.
+constexpr std::size_t kKc = 256;
+
+// C tile (mr x nr) += A'(mr x kc) @ Bp(kc x nr).
+// A' element (r,k) lives at a[r*rsa + k*csa] — (rsa=lda, csa=1) walks A
+// row-major, (rsa=1, csa=lda) walks a transposed view without copying.
+// Bp is row-major with leading dimension ldb; C with ldc.
+void micro_kernel(std::size_t kc, const float* a, std::size_t rsa,
+                  std::size_t csa, const float* bp, std::size_t ldb, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr) {
+  if (mr == kMr && nr == kNr) {
+    // Full tile: fixed trip counts so the inner loops vectorize and the
+    // accumulators stay in registers across the whole k sweep.
+    float acc[kMr][kNr] = {};
+    for (std::size_t k = 0; k < kc; ++k) {
+      const float* brow = bp + k * ldb;
+      for (std::size_t r = 0; r < kMr; ++r) {
+        const float av = a[r * rsa + k * csa];
+        for (std::size_t n = 0; n < kNr; ++n) acc[r][n] += av * brow[n];
+      }
+    }
+    for (std::size_t r = 0; r < kMr; ++r) {
+      float* crow = c + r * ldc;
+      for (std::size_t n = 0; n < kNr; ++n) crow[n] += acc[r][n];
+    }
+    return;
+  }
+  // Ragged edge tile.
+  float acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* brow = bp + k * ldb;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float av = a[r * rsa + k * csa];
+      for (std::size_t n = 0; n < nr; ++n) acc[r][n] += av * brow[n];
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (std::size_t n = 0; n < nr; ++n) crow[n] += acc[r][n];
+  }
+}
+
+}  // namespace
+
+void gemm_nn(const float* A, const float* B, float* C, std::size_t M,
+             std::size_t K, std::size_t N) {
+  parallel_chunks(
+      0, M,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t kb = 0; kb < K; kb += kKc) {
+          const std::size_t kc = std::min(kKc, K - kb);
+          for (std::size_t nb = 0; nb < N; nb += kNr) {
+            const std::size_t nr = std::min(kNr, N - nb);
+            for (std::size_t m = lo; m < hi; m += kMr) {
+              const std::size_t mr = std::min(kMr, hi - m);
+              micro_kernel(kc, A + m * K + kb, K, 1, B + kb * N + nb, N,
+                           C + m * N + nb, N, mr, nr);
+            }
+          }
+        }
+      },
+      kMr);
+}
+
+void gemm_nt(const float* A, const float* B, float* C, std::size_t M,
+             std::size_t K, std::size_t N) {
+  parallel_chunks(
+      0, M,
+      [&](std::size_t lo, std::size_t hi) {
+        // Pack B^T panels so the micro-kernel sees contiguous rows; the
+        // pack cost amortizes over all row tiles of this stripe.
+        std::vector<float> bt(kKc * kNr);
+        for (std::size_t kb = 0; kb < K; kb += kKc) {
+          const std::size_t kc = std::min(kKc, K - kb);
+          for (std::size_t nb = 0; nb < N; nb += kNr) {
+            const std::size_t nr = std::min(kNr, N - nb);
+            for (std::size_t j = 0; j < nr; ++j) {
+              const float* src = B + (nb + j) * K + kb;
+              for (std::size_t k = 0; k < kc; ++k) bt[k * kNr + j] = src[k];
+            }
+            for (std::size_t m = lo; m < hi; m += kMr) {
+              const std::size_t mr = std::min(kMr, hi - m);
+              micro_kernel(kc, A + m * K + kb, K, 1, bt.data(), kNr,
+                           C + m * N + nb, N, mr, nr);
+            }
+          }
+        }
+      },
+      kMr);
+}
+
+void gemm_tn(const float* A, const float* B, float* C, std::size_t K,
+             std::size_t M, std::size_t N) {
+  // Column-stripe partition: each thread owns C[:, n0:n1) and reduces
+  // over all of K for it, so concurrent accumulation never races.
+  parallel_chunks(
+      0, N,
+      [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t kb = 0; kb < K; kb += kKc) {
+          const std::size_t kc = std::min(kKc, K - kb);
+          for (std::size_t nb = n0; nb < n1; nb += kNr) {
+            const std::size_t nr = std::min(kNr, n1 - nb);
+            for (std::size_t m = 0; m < M; m += kMr) {
+              const std::size_t mr = std::min(kMr, M - m);
+              micro_kernel(kc, A + kb * M + m, 1, M, B + kb * N + nb, N,
+                           C + m * N + nb, N, mr, nr);
+            }
+          }
+        }
+      },
+      kNr);
+}
+
+void gemv(const float* x, const float* w, const float* bias, float* y,
+          std::size_t in, std::size_t out) {
+  // One-row variant of the micro-kernel. The strip is wider than kNr
+  // because a single row has no row-reuse to feed: 64 floats per strip
+  // covers the whole output of the d_model-sized inference linears in
+  // one pass and each cache line of W is still fetched exactly once.
+  constexpr std::size_t kVNr = 64;
+  for (std::size_t nb = 0; nb < out; nb += kVNr) {
+    const std::size_t nr = std::min(kVNr, out - nb);
+    float acc[kVNr] = {};
+    if (nr == kVNr) {
+      for (std::size_t k = 0; k < in; ++k) {
+        const float xv = x[k];
+        const float* wrow = w + k * out + nb;
+        for (std::size_t n = 0; n < kVNr; ++n) acc[n] += xv * wrow[n];
+      }
+    } else {
+      for (std::size_t k = 0; k < in; ++k) {
+        const float xv = x[k];
+        const float* wrow = w + k * out + nb;
+        for (std::size_t n = 0; n < nr; ++n) acc[n] += xv * wrow[n];
+      }
+    }
+    if (bias != nullptr) {
+      for (std::size_t n = 0; n < nr; ++n) y[nb + n] = bias[nb + n] + acc[n];
+    } else {
+      for (std::size_t n = 0; n < nr; ++n) y[nb + n] = acc[n];
+    }
+  }
+}
+
+}  // namespace eva::tensor

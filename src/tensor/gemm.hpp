@@ -1,0 +1,39 @@
+// Blocked, vectorization-friendly GEMM kernel family.
+//
+// One register-tiled micro-kernel (MR x NR accumulator block, NR = one
+// cache line of floats) backs all matmul variants of the tensor engine
+// plus the KV-cache inference path's vector-matrix products. All
+// matrices are row-major float32 and every kernel *accumulates* into C
+// (C += ...), matching the autograd convention of += into grads.
+//
+// Threading: gemm_nn / gemm_nt partition over rows of C, gemm_tn over
+// columns of C (each thread owns a disjoint column stripe, so the
+// K-reduction needs no atomics or per-thread buffers). All dispatch via
+// eva::parallel_chunks, so they run inline under set_num_threads(1) or
+// when called from inside another parallel region.
+#pragma once
+
+#include <cstddef>
+
+namespace eva::tensor {
+
+/// C(M,N) += A(M,K) @ B(K,N).
+void gemm_nn(const float* A, const float* B, float* C, std::size_t M,
+             std::size_t K, std::size_t N);
+
+/// C(M,N) += A(M,K) @ B(N,K)^T.
+void gemm_nt(const float* A, const float* B, float* C, std::size_t M,
+             std::size_t K, std::size_t N);
+
+/// C(M,N) += A(K,M)^T @ B(K,N). This is the weight-gradient shape
+/// (dW += X^T @ dY); parallel over column stripes of C.
+void gemm_tn(const float* A, const float* B, float* C, std::size_t K,
+             std::size_t M, std::size_t N);
+
+/// y(out) = x(in) @ W(in,out) + bias. bias may be null (treated as 0).
+/// Serial: the inference path parallelizes across sequences, not inside
+/// a single token step.
+void gemv(const float* x, const float* w, const float* bias, float* y,
+          std::size_t in, std::size_t out);
+
+}  // namespace eva::tensor

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/gemm.hpp"
 #include "util/parallel.hpp"
 
 namespace eva::tensor {
@@ -246,34 +247,42 @@ Tensor binary_op(const Tensor& a, const Tensor& b, BinKind kind,
       if (an->requires_grad) {
         float* ga = an->grad.data();
         const float* pb2 = bn->data.data();
-        for (std::size_t i = 0; i < n; ++i) {
+        parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
           switch (kind) {
             case BinKind::Add:
             case BinKind::Sub:
-              ga[i] += g[i];
+              for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i];
               break;
             case BinKind::Mul:
-              ga[i] += g[i] * pb2[i % bsz];
+              for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i] * pb2[i % bsz];
               break;
           }
-        }
+        });
       }
       if (bn->requires_grad) {
         float* gb = bn->grad.data();
         const float* pa2 = an->data.data();
-        for (std::size_t i = 0; i < n; ++i) {
-          switch (kind) {
-            case BinKind::Add:
-              gb[i % bsz] += g[i];
-              break;
-            case BinKind::Sub:
-              gb[i % bsz] -= g[i];
-              break;
-            case BinKind::Mul:
-              gb[i % bsz] += g[i] * pa2[i];
-              break;
+        // The broadcast operand reduces n -> bsz, so partition over the
+        // *output* indices [0,bsz): each gb[j] is owned by one chunk and
+        // accumulates its strided column in the same i-ascending order as
+        // the serial loop (bitwise-identical result).
+        parallel_chunks(0, bsz, [&](std::size_t jlo, std::size_t jhi) {
+          for (std::size_t base = 0; base < n; base += bsz) {
+            switch (kind) {
+              case BinKind::Add:
+                for (std::size_t j = jlo; j < jhi; ++j) gb[j] += g[base + j];
+                break;
+              case BinKind::Sub:
+                for (std::size_t j = jlo; j < jhi; ++j) gb[j] -= g[base + j];
+                break;
+              case BinKind::Mul:
+                for (std::size_t j = jlo; j < jhi; ++j) {
+                  gb[j] += g[base + j] * pa2[base + j];
+                }
+                break;
+            }
           }
-        }
+        });
       }
     };
   }
@@ -344,7 +353,9 @@ Tensor unary_op(const Tensor& a, const char* name, F fwd, G dfd) {
       const float* y = self.data.data();
       const float* g = self.grad.data();
       float* gx = an->grad.data();
-      for (std::size_t i = 0; i < n; ++i) gx[i] += g[i] * dfd(x[i], y[i]);
+      parallel_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) gx[i] += g[i] * dfd(x[i], y[i]);
+      });
     };
   }
   return Tensor{out};
@@ -448,74 +459,9 @@ Tensor min_t(const Tensor& a, const Tensor& b) {
 }
 
 // ---------------------------------------------------------------------------
-// Matmul kernels (serial over a row range; callers parallelize rows)
+// Matmul (blocked kernels in gemm.cpp; all variants parallel, including
+// the weight-gradient gemm_tn which partitions over output columns)
 // ---------------------------------------------------------------------------
-
-namespace {
-
-// C[m,:] += A[m,:] @ B  for m in [m0,m1); A:(M,K) B:(K,N) C:(M,N)
-void mm_nn_rows(const float* A, const float* B, float* C, std::size_t m0,
-                std::size_t m1, std::size_t K, std::size_t N) {
-  for (std::size_t m = m0; m < m1; ++m) {
-    const float* a = A + m * K;
-    float* c = C + m * N;
-    for (std::size_t k = 0; k < K; ++k) {
-      const float av = a[k];
-      if (av == 0.0f) continue;
-      const float* b = B + k * N;
-      for (std::size_t n = 0; n < N; ++n) c[n] += av * b[n];
-    }
-  }
-}
-
-// C[m,:] += A[m,:] @ B^T  for m in [m0,m1); A:(M,K) B:(N,K) C:(M,N)
-void mm_nt_rows(const float* A, const float* B, float* C, std::size_t m0,
-                std::size_t m1, std::size_t K, std::size_t N) {
-  for (std::size_t m = m0; m < m1; ++m) {
-    const float* a = A + m * K;
-    float* c = C + m * N;
-    for (std::size_t n = 0; n < N; ++n) {
-      const float* b = B + n * K;
-      float acc = 0.0f;
-      for (std::size_t k = 0; k < K; ++k) acc += a[k] * b[k];
-      c[n] += acc;
-    }
-  }
-}
-
-// C += A^T @ B over k-range; A:(K,M) B:(K,N) C:(M,N). Serial (accumulates
-// into shared C), callers must not parallelize over k.
-void mm_tn_full(const float* A, const float* B, float* C, std::size_t K,
-                std::size_t M, std::size_t N) {
-  for (std::size_t k = 0; k < K; ++k) {
-    const float* a = A + k * M;
-    const float* b = B + k * N;
-    for (std::size_t m = 0; m < M; ++m) {
-      const float av = a[m];
-      if (av == 0.0f) continue;
-      float* c = C + m * N;
-      for (std::size_t n = 0; n < N; ++n) c[n] += av * b[n];
-    }
-  }
-}
-
-void mm_nn_parallel(const float* A, const float* B, float* C, std::size_t M,
-                    std::size_t K, std::size_t N) {
-  parallel_chunks(
-      0, M,
-      [&](std::size_t lo, std::size_t hi) { mm_nn_rows(A, B, C, lo, hi, K, N); },
-      8);
-}
-
-void mm_nt_parallel(const float* A, const float* B, float* C, std::size_t M,
-                    std::size_t K, std::size_t N) {
-  parallel_chunks(
-      0, M,
-      [&](std::size_t lo, std::size_t hi) { mm_nt_rows(A, B, C, lo, hi, K, N); },
-      8);
-}
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   auto an = a.node();
@@ -530,16 +476,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const auto K = static_cast<std::size_t>(sa[1]);
     const auto N = static_cast<std::size_t>(sb[1]);
     auto out = make_result({sa[0], sb[1]}, "matmul", {an, bn});
-    mm_nn_parallel(an->data.data(), bn->data.data(), out->data.data(), M, K, N);
+    gemm_nn(an->data.data(), bn->data.data(), out->data.data(), M, K, N);
     if (out->requires_grad) {
       out->backward = [an, bn, M, K, N](Node& self) {
         if (an->requires_grad) {
-          mm_nt_parallel(self.grad.data(), bn->data.data(), an->grad.data(), M,
-                         N, K);
+          gemm_nt(self.grad.data(), bn->data.data(), an->grad.data(), M, N, K);
         }
         if (bn->requires_grad) {
-          mm_tn_full(an->data.data(), self.grad.data(), bn->grad.data(), M, K,
-                     N);
+          gemm_tn(an->data.data(), self.grad.data(), bn->grad.data(), M, K, N);
         }
       };
     }
@@ -554,17 +498,16 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const auto K = static_cast<std::size_t>(sa[2]);
     const auto N = static_cast<std::size_t>(sb[1]);
     auto out = make_result({sa[0], sa[1], sb[1]}, "matmul", {an, bn});
-    mm_nn_parallel(an->data.data(), bn->data.data(), out->data.data(), B * M, K,
-                   N);
+    gemm_nn(an->data.data(), bn->data.data(), out->data.data(), B * M, K, N);
     if (out->requires_grad) {
       out->backward = [an, bn, B, M, K, N](Node& self) {
         if (an->requires_grad) {
-          mm_nt_parallel(self.grad.data(), bn->data.data(), an->grad.data(),
-                         B * M, N, K);
+          gemm_nt(self.grad.data(), bn->data.data(), an->grad.data(), B * M, N,
+                  K);
         }
         if (bn->requires_grad) {
-          mm_tn_full(an->data.data(), self.grad.data(), bn->grad.data(), B * M,
-                     K, N);
+          gemm_tn(an->data.data(), self.grad.data(), bn->grad.data(), B * M, K,
+                  N);
         }
       };
     }
@@ -582,42 +525,29 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const float* pa = an->data.data();
     const float* pb = bn->data.data();
     float* pc = out->data.data();
-    // Parallelize over flattened (batch, row) space.
-    parallel_chunks(
-        0, B * M,
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t r = lo; r < hi; ++r) {
-            const std::size_t batch = r / M;
-            const std::size_t m = r % M;
-            mm_nn_rows(pa + batch * M * K, pb + batch * K * N, pc + batch * M * N,
-                       m, m + 1, K, N);
-          }
-        },
-        8);
+    // Parallelize over batches; the per-batch gemm runs inline (nested
+    // parallel regions serialize), so there is no oversubscription.
+    parallel_for(0, B, [&](std::size_t batch) {
+      gemm_nn(pa + batch * M * K, pb + batch * K * N, pc + batch * M * N, M, K,
+              N);
+    });
     if (out->requires_grad) {
       out->backward = [an, bn, B, M, K, N](Node& self) {
         const float* g = self.grad.data();
         if (an->requires_grad) {
           float* ga = an->grad.data();
           const float* pb2 = bn->data.data();
-          parallel_chunks(
-              0, B * M,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t r = lo; r < hi; ++r) {
-                  const std::size_t batch = r / M;
-                  const std::size_t m = r % M;
-                  mm_nt_rows(g + batch * M * N, pb2 + batch * K * N,
-                             ga + batch * M * K, m, m + 1, N, K);
-                }
-              },
-              8);
+          parallel_for(0, B, [&](std::size_t batch) {
+            gemm_nt(g + batch * M * N, pb2 + batch * K * N, ga + batch * M * K,
+                    M, N, K);
+          });
         }
         if (bn->requires_grad) {
           float* gb = bn->grad.data();
           const float* pa2 = an->data.data();
           parallel_for(0, B, [&](std::size_t batch) {
-            mm_tn_full(pa2 + batch * M * K, g + batch * M * N,
-                       gb + batch * K * N, M, K, N);
+            gemm_tn(pa2 + batch * M * K, g + batch * M * N, gb + batch * K * N,
+                    M, K, N);
           });
         }
       };

@@ -2,10 +2,13 @@
 // checks against finite differences for every op, optimizers, serialization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <vector>
 
+#include "tensor/gemm.hpp"
 #include "tensor/optim.hpp"
 #include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
@@ -173,6 +176,105 @@ TEST(Tensor, BatchedMatmulGrad) {
   EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
   grad_check(a, [&b](const Tensor& x) { return sum_all(matmul(x, b.detach())); });
   grad_check(b, [&a](const Tensor& x) { return sum_all(matmul(a.detach(), x)); });
+}
+
+// --- raw GEMM kernels -----------------------------------------------------
+// The blocked kernels behind matmul/linear, checked against a naive
+// triple loop across shapes that hit every tiling edge case: unit dims,
+// sub-tile ragged edges (3, 17), exact tiles (64), and one-past-a-tile
+// (129). Reduction order differs from the reference, so compare with a
+// K-scaled tolerance rather than exact equality.
+
+std::vector<float> random_mat(std::size_t rows, std::size_t cols, Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+TEST(Gemm, KernelsMatchNaiveReference) {
+  const std::size_t dims[] = {1, 3, 17, 64, 129};
+  Rng rng(99);
+  for (std::size_t M : dims) {
+    for (std::size_t K : dims) {
+      for (std::size_t N : dims) {
+        const auto A = random_mat(M, K, rng);    // (M,K)
+        const auto B = random_mat(K, N, rng);    // (K,N)
+        const auto Bt = random_mat(N, K, rng);   // (N,K), for nt
+        const auto At = random_mat(K, M, rng);   // (K,M), for tn
+        const float tol = 1e-4f * static_cast<float>(K);
+
+        std::vector<float> ref(M * N, 0.0f), out(M * N, 0.0f);
+
+        for (std::size_t i = 0; i < M; ++i)
+          for (std::size_t k = 0; k < K; ++k)
+            for (std::size_t j = 0; j < N; ++j)
+              ref[i * N + j] += A[i * K + k] * B[k * N + j];
+        gemm_nn(A.data(), B.data(), out.data(), M, K, N);
+        for (std::size_t i = 0; i < M * N; ++i)
+          ASSERT_NEAR(out[i], ref[i], tol)
+              << "nn " << M << "x" << K << "x" << N << " @" << i;
+
+        std::fill(ref.begin(), ref.end(), 0.0f);
+        std::fill(out.begin(), out.end(), 0.0f);
+        for (std::size_t i = 0; i < M; ++i)
+          for (std::size_t j = 0; j < N; ++j)
+            for (std::size_t k = 0; k < K; ++k)
+              ref[i * N + j] += A[i * K + k] * Bt[j * K + k];
+        gemm_nt(A.data(), Bt.data(), out.data(), M, K, N);
+        for (std::size_t i = 0; i < M * N; ++i)
+          ASSERT_NEAR(out[i], ref[i], tol)
+              << "nt " << M << "x" << K << "x" << N << " @" << i;
+
+        std::fill(ref.begin(), ref.end(), 0.0f);
+        std::fill(out.begin(), out.end(), 0.0f);
+        for (std::size_t k = 0; k < K; ++k)
+          for (std::size_t i = 0; i < M; ++i)
+            for (std::size_t j = 0; j < N; ++j)
+              ref[i * N + j] += At[k * M + i] * B[k * N + j];
+        gemm_tn(At.data(), B.data(), out.data(), K, M, N);
+        for (std::size_t i = 0; i < M * N; ++i)
+          ASSERT_NEAR(out[i], ref[i], tol)
+              << "tn " << K << "x" << M << "x" << N << " @" << i;
+      }
+    }
+  }
+}
+
+TEST(Gemm, KernelsAccumulateIntoC) {
+  // All three kernels are C += ..., not C = ...; the backward pass
+  // relies on accumulation when a tensor feeds several consumers.
+  Rng rng(100);
+  const std::size_t n = 17;
+  const auto A = random_mat(n, n, rng);
+  const auto B = random_mat(n, n, rng);
+  std::vector<float> once(n * n, 1.0f), twice(n * n, 1.0f);
+  gemm_nn(A.data(), B.data(), once.data(), n, n, n);
+  gemm_nn(A.data(), B.data(), twice.data(), n, n, n);
+  gemm_nn(A.data(), B.data(), twice.data(), n, n, n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i] - 1.0f, 1e-3f);
+}
+
+TEST(Gemm, GemvMatchesGemmRow) {
+  Rng rng(101);
+  for (std::size_t in : {1u, 7u, 64u, 130u}) {
+    for (std::size_t out : {1u, 9u, 64u, 200u}) {
+      const auto x = random_mat(1, in, rng);
+      const auto w = random_mat(in, out, rng);
+      const auto b = random_mat(1, out, rng);
+      std::vector<float> ref(out, 0.0f), y(out, -1.0f);
+      for (std::size_t k = 0; k < in; ++k)
+        for (std::size_t j = 0; j < out; ++j) ref[j] += x[k] * w[k * out + j];
+      gemv(x.data(), w.data(), nullptr, y.data(), in, out);
+      for (std::size_t j = 0; j < out; ++j)
+        ASSERT_NEAR(y[j], ref[j], 1e-4f * static_cast<float>(in) + 1e-5f)
+            << "in=" << in << " out=" << out << " @" << j;
+      gemv(x.data(), w.data(), b.data(), y.data(), in, out);
+      for (std::size_t j = 0; j < out; ++j)
+        ASSERT_NEAR(y[j], ref[j] + b[j], 1e-4f * static_cast<float>(in) + 1e-5f)
+            << "bias in=" << in << " out=" << out << " @" << j;
+    }
+  }
 }
 
 TEST(Tensor, TransposeLast) {
