@@ -1,6 +1,18 @@
 // google-benchmark microbenchmarks for the substrates: tensor engine,
 // circuit representation, mini-SPICE, generation throughput.
+//
+// Always writes a machine-readable report (chrome for CI trend tracking):
+// unless the caller passes an explicit --benchmark_out, the run also
+// writes google-benchmark JSON to BENCH_micro.json in the working
+// directory (override the path with EVA_BENCH_OUT). GFLOP/s and token
+// throughput appear as items_per_second, latencies as real_time in the
+// benchmark's declared unit.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "circuit/canon.hpp"
 #include "circuit/pingraph.hpp"
@@ -225,4 +237,26 @@ BENCHMARK(BM_DatasetGenerate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_path = "BENCH_micro.json";
+  if (const char* env = std::getenv("EVA_BENCH_OUT")) out_path = env;
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,10 +12,10 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <iostream>
 #include <string>
 
 #include "core/eva.hpp"
+#include "obs/log.hpp"
 #include "util/io.hpp"
 
 namespace eva::bench {
@@ -50,27 +50,30 @@ inline core::EvaConfig bench_config(const BenchScale& s) {
   return cfg;
 }
 
-/// Build + pretrain the standard pipeline, with progress to stdout.
+/// Build + pretrain the standard pipeline. Progress goes through the
+/// structured logger (stderr + EVA_LOG_FILE), keeping stdout clean for
+/// the paper-style tables the bench binaries print.
 inline core::Eva make_pretrained(const BenchScale& s) {
   const auto t0 = std::chrono::steady_clock::now();
   core::Eva engine(bench_config(s));
-  std::cout << "[setup] building dataset (" << s.per_type
-            << " topologies x 11 types)...\n";
+  obs::log_info("bench.setup",
+                {{"per_type", s.per_type}, {"pretrain_steps", s.pretrain_steps}});
   engine.prepare();
-  std::cout << "[setup] dataset: " << engine.dataset().entries().size()
-            << " unique topologies, vocab " << engine.tokenizer().vocab_size()
-            << ", corpus " << engine.corpus().train.size()
-            << " train sequences, model " << engine.model().num_params()
-            << " params\n";
-  std::cout << "[setup] pretraining " << s.pretrain_steps << " steps...\n";
+  obs::log_info(
+      "bench.prepared",
+      {{"topologies",
+        static_cast<std::int64_t>(engine.dataset().entries().size())},
+       {"vocab", engine.tokenizer().vocab_size()},
+       {"train_seqs", static_cast<std::int64_t>(engine.corpus().train.size())},
+       {"model_params", static_cast<std::int64_t>(engine.model().num_params())}});
   const auto result = engine.pretrain();
   const auto dt = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-  std::cout << "[setup] pretrain loss " << eva::fmt(result.losses.front(), 3)
-            << " -> " << eva::fmt(result.losses.back(), 3) << ", val loss "
-            << eva::fmt(result.final_val_loss, 3) << "  (" << eva::fmt(dt, 1)
-            << " s)\n";
+  obs::log_info("bench.pretrained", {{"first_loss", result.losses.front()},
+                                     {"last_loss", result.losses.back()},
+                                     {"val_loss", result.final_val_loss},
+                                     {"setup_s", dt}});
   return engine;
 }
 

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/eva.hpp"
+#include "obs/obs.hpp"
 #include "util/io.hpp"
 
 int main() {
@@ -21,8 +22,10 @@ int main() {
   std::cout << "=== Targeted Op-Amp discovery with PPO ===\n";
   core::Eva engine(cfg);
   engine.prepare();
-  std::cout << "pretraining on " << engine.corpus().train.size()
-            << " tour sequences...\n";
+  obs::log_info(
+      "example.pretraining",
+      {{"train_seqs", static_cast<std::int64_t>(engine.corpus().train.size())},
+       {"steps", cfg.pretrain.steps}});
   engine.pretrain();
 
   const auto labels = engine.label_for(CircuitType::OpAmp);
@@ -30,7 +33,9 @@ int main() {
             << " (Otsu FoM threshold " << eva::fmt(labels.fom_threshold, 2)
             << ")\n";
 
-  std::cout << "PPO fine-tuning toward high-FoM Op-Amps...\n";
+  // PPO epoch progress comes from the trainer's default obs hook
+  // (event "ppo.epoch"); the summary table below stays on stdout.
+  obs::log_info("example.ppo_finetune", {{"target", "OpAmp"}});
   rl::PpoConfig ppo;
   ppo.epochs = 4;
   ppo.rollouts = 8;
@@ -43,7 +48,7 @@ int main() {
               << eva::fmt(stats.mean_reward[e], 3) << "\n";
   }
 
-  std::cout << "discovery: 10 attempts, GA sizing, mini-SPICE FoM...\n";
+  obs::log_info("example.discovery", {{"attempts", 10}});
   opt::GaConfig ga;
   ga.population = 12;
   ga.generations = 5;

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/eva.hpp"
+#include "obs/obs.hpp"
 #include "util/io.hpp"
 
 int main() {
@@ -20,11 +21,12 @@ int main() {
   std::cout << "=== Targeted power-converter discovery with DPO ===\n";
   core::Eva engine(cfg);
   engine.prepare();
-  std::cout << "pretraining...\n";
+  obs::log_info("example.pretraining", {{"steps", cfg.pretrain.steps}});
   engine.pretrain();
 
-  std::cout << "DPO fine-tuning on preference pairs "
-               "(High > Low > Irrelevant > Invalid)...\n";
+  // DPO step progress comes from the trainer's default obs hook
+  // (event "dpo.step"); stdout keeps the before/after summary.
+  obs::log_info("example.dpo_finetune", {{"target", "PowerConverter"}});
   rl::DpoConfig dpo;
   dpo.steps = 25;
   dpo.pairs_per_step = 3;
@@ -34,8 +36,7 @@ int main() {
             << eva::fmt(stats.loss.back(), 3) << ", final reward accuracy "
             << eva::fmt(stats.reward_acc.back(), 2) << "\n";
 
-  std::cout << "discovery: 10 attempts, GA sizing, averaged converter "
-               "analysis...\n";
+  obs::log_info("example.discovery", {{"attempts", 10}});
   opt::GaConfig ga;
   ga.population = 12;
   ga.generations = 5;

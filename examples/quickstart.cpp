@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/eva.hpp"
+#include "obs/obs.hpp"
 #include "spice/engine.hpp"
 #include "util/io.hpp"
 
@@ -30,13 +31,15 @@ int main() {
             << " tokens | model: " << engine.model().num_params()
             << " parameters\n";
 
-  std::cout << "\npretraining...\n";
+  // Progress goes through the structured logger (stderr + EVA_LOG_FILE);
+  // stdout keeps the headline numbers the docs quote.
+  obs::log_info("quickstart.pretraining", {{"steps", cfg.pretrain.steps}});
   const auto result = engine.pretrain();
   std::cout << "loss " << eva::fmt(result.losses.front(), 3) << " -> "
             << eva::fmt(result.losses.back(), 3) << " (val "
             << eva::fmt(result.final_val_loss, 3) << ")\n";
 
-  std::cout << "\ngenerating 20 topologies from the VSS token...\n";
+  obs::log_info("quickstart.generating", {{"n", 20}});
   const auto attempts = engine.generate(20);
   int valid = 0;
   const circuit::Netlist* first_valid = nullptr;
@@ -53,5 +56,7 @@ int main() {
               << "):\n"
               << first_valid->to_spice();
   }
+  // Write EVA_METRICS_FILE / EVA_TRACE_FILE now (also runs at exit).
+  obs::flush();
   return 0;
 }

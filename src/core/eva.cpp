@@ -1,5 +1,7 @@
 #include "core/eva.hpp"
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "tensor/serialize.hpp"
 
 namespace eva::core {
@@ -9,6 +11,7 @@ using circuit::CircuitType;
 Eva::Eva(EvaConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {}
 
 void Eva::prepare() {
+  obs::Span span("eva.prepare");
   dataset_ = std::make_unique<data::Dataset>(
       data::Dataset::build(cfg_.dataset));
   tokenizer_ = std::make_unique<nn::Tokenizer>(
@@ -18,6 +21,12 @@ void Eva::prepare() {
   corpus_ = std::make_unique<nn::SequenceCorpus>(
       nn::build_corpus(*dataset_, *tokenizer_, cfg_.tours_per_topology,
                        cfg_.model.max_seq, rng_));
+  obs::log_info(
+      "eva.prepared",
+      {{"topologies", static_cast<std::int64_t>(dataset_->entries().size())},
+       {"vocab", tokenizer_->vocab_size()},
+       {"train_seqs", static_cast<std::int64_t>(corpus_->train.size())},
+       {"val_seqs", static_cast<std::int64_t>(corpus_->val.size())}});
 }
 
 nn::PretrainResult Eva::pretrain() {
@@ -56,6 +65,7 @@ rl::DpoStats Eva::finetune_dpo(CircuitType target, rl::DpoConfig dpo,
 
 std::vector<eval::Attempt> Eva::generate(int n) {
   EVA_REQUIRE(prepared(), "call prepare() first");
+  obs::Span span("eva.generate");
   nn::SampleOptions opts;
   opts.temperature = cfg_.sample_temperature;
   const auto samples = nn::sample_batch(*model_, *tokenizer_, rng_, n, opts);

@@ -6,6 +6,9 @@
 #include "circuit/validity.hpp"
 #include "data/generators.hpp"
 #include "data/mutate.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/engine.hpp"
 
 namespace eva::data {
@@ -25,34 +28,64 @@ constexpr CircuitType kAllTypes[] = {
 
 Dataset Dataset::build(const DatasetConfig& cfg) {
   EVA_REQUIRE(cfg.per_type > 0, "per_type must be positive");
+  // Rejection-funnel accounting: attempts minus each reject cause equals
+  // accepted, so a starved generator shows where candidates die.
+  static obs::Counter& attempts_c = obs::counter("data.gen.attempts");
+  static obs::Counter& invalid_c = obs::counter("data.gen.structurally_invalid");
+  static obs::Counter& wrong_type_c = obs::counter("data.gen.wrong_type");
+  static obs::Counter& dup_c = obs::counter("data.gen.duplicates");
+  static obs::Counter& nonsim_c = obs::counter("data.gen.not_simulatable");
+  static obs::Counter& accepted_c = obs::counter("data.gen.accepted");
+  obs::Span span("data.build");
+
   Dataset ds;
   Rng rng(cfg.seed);
 
   for (const CircuitType type : kAllTypes) {
     int found = 0;
     const int max_attempts = cfg.per_type * cfg.max_attempts_factor;
-    for (int attempt = 0; attempt < max_attempts && found < cfg.per_type;
-         ++attempt) {
+    int attempt = 0;
+    for (; attempt < max_attempts && found < cfg.per_type; ++attempt) {
+      attempts_c.add();
       circuit::Netlist nl = generate(type, rng);
       const int n_mut = cfg.max_mutations > 0
                             ? rng.range(0, cfg.max_mutations)
                             : 0;
       for (int m = 0; m < n_mut; ++m) mutate(nl, rng);
 
-      if (!circuit::structurally_valid(nl)) continue;
-      if (circuit::classify(nl) != type) continue;
+      if (!circuit::structurally_valid(nl)) {
+        invalid_c.add();
+        continue;
+      }
+      if (circuit::classify(nl) != type) {
+        wrong_type_c.add();
+        continue;
+      }
       const std::uint64_t h = circuit::canonical_hash(nl);
-      if (ds.hashes_.count(h)) continue;
-      if (cfg.require_simulatable && !spice::simulatable(nl)) continue;
+      if (ds.hashes_.count(h)) {
+        dup_c.add();
+        continue;
+      }
+      if (cfg.require_simulatable && !spice::simulatable(nl)) {
+        nonsim_c.add();
+        continue;
+      }
 
       ds.hashes_.insert(h);
       ds.entries_.push_back(TopologyEntry{std::move(nl), type, h});
+      accepted_c.add();
       ++found;
     }
+    obs::log_debug("data.type_done", {{"type", circuit::type_name(type)},
+                                      {"found", found},
+                                      {"attempts", attempt}});
     EVA_REQUIRE(found >= std::min(cfg.per_type, 5),
                 std::string("dataset generator starved for type ") +
                     std::string{circuit::type_name(type)});
   }
+  obs::log_info("data.build_done",
+                {{"topologies", static_cast<std::int64_t>(ds.entries_.size())},
+                 {"types", static_cast<std::int64_t>(std::size(kAllTypes))}});
   return ds;
 }
 

@@ -6,6 +6,7 @@
 
 #include "circuit/canon.hpp"
 #include "circuit/graphstats.hpp"
+#include "obs/metrics.hpp"
 #include "spice/engine.hpp"
 
 namespace eva::eval {
@@ -17,11 +18,33 @@ GenerationEval evaluate_generation(const std::vector<Attempt>& attempts,
   GenerationEval ev;
   ev.total = static_cast<int>(attempts.size());
 
+  // Validity failures split by cause: an undecodable emission or a
+  // structurally broken netlist is the model's fault, a non-converged DC
+  // solve may be the solver giving up (see spice::SimVerdict).
+  static obs::Counter& undecodable = obs::counter("eval.undecodable");
+  static obs::Counter& invalid = obs::counter("eval.invalid_circuit");
+  static obs::Counter& gave_up = obs::counter("eval.solver_gave_up");
+  static obs::Counter& valid_c = obs::counter("eval.valid");
+
   std::vector<std::vector<double>> gen_stats;
   std::set<CircuitType> types;
   for (const auto& a : attempts) {
-    if (!a.has_value()) continue;
-    if (!spice::simulatable(*a)) continue;
+    if (!a.has_value()) {
+      undecodable.add();
+      continue;
+    }
+    switch (spice::simulatable_verdict(*a)) {
+      case spice::SimVerdict::kStructurallyInvalid:
+      case spice::SimVerdict::kError:
+        invalid.add();
+        continue;
+      case spice::SimVerdict::kNonConverged:
+        gave_up.add();
+        continue;
+      case spice::SimVerdict::kOk:
+        break;
+    }
+    valid_c.add();
     ++ev.valid;
     const auto h = circuit::canonical_hash(*a);
     if (!reference.contains_hash(h)) ++ev.novel;

@@ -1,9 +1,13 @@
 #include "nn/lm_trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "circuit/pingraph.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace eva::nn {
 
@@ -90,9 +94,19 @@ PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
   auto params = model.parameters();
   AdamW opt(params, {.lr = cfg.lr, .weight_decay = cfg.weight_decay});
 
+  static obs::Counter& steps_c = obs::counter("pretrain.steps");
+  static obs::Counter& tokens_c = obs::counter("pretrain.tokens");
+  static obs::Histogram& loss_h = obs::histogram("pretrain.loss");
+  static obs::Histogram& gnorm_h = obs::histogram("pretrain.grad_norm");
+  // tokens/s over a sliding window of log_every steps (the whole run when
+  // log_every exceeds it), so warmup steps do not dilute the figure.
+  auto window_t0 = std::chrono::steady_clock::now();
+  std::int64_t window_tokens = 0;
+
   PretrainResult result;
   result.losses.reserve(static_cast<std::size_t>(cfg.steps));
   for (int step = 0; step < cfg.steps; ++step) {
+    obs::Span step_span("pretrain.step");
     // LR schedule: linear warmup then cosine decay to lr_min_frac * lr.
     float lr = cfg.lr;
     if (step < cfg.warmup) {
@@ -120,15 +134,40 @@ PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
         model.forward(b.inputs, b.batch, b.seq_len, true, &drop_rng);
     Tensor loss = cross_entropy(logits, b.targets, -1);
     loss.backward();
-    clip_grad_norm(params, cfg.clip);
+    const double grad_norm = clip_grad_norm(params, cfg.clip);
     opt.step();
 
+    const std::int64_t step_tokens =
+        static_cast<std::int64_t>(b.batch) * b.seq_len;
+    steps_c.add();
+    tokens_c.add(step_tokens);
+    window_tokens += step_tokens;
+    loss_h.record(loss.item());
+    gnorm_h.record(grad_norm);
+
     result.losses.push_back(loss.item());
-    if (on_step && (step % cfg.log_every == 0 || step + 1 == cfg.steps)) {
-      on_step(step, loss.item());
+    if (step % cfg.log_every == 0 || step + 1 == cfg.steps) {
+      const auto now = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(now - window_t0).count();
+      const double tok_s = dt > 0 ? static_cast<double>(window_tokens) / dt : 0;
+      obs::gauge("pretrain.loss").set(loss.item());
+      obs::gauge("pretrain.tokens_per_sec").set(tok_s);
+      if (on_step) {
+        on_step(step, loss.item());
+      } else {
+        obs::log_info("pretrain.step", {{"step", step},
+                                        {"loss", loss.item()},
+                                        {"grad_norm", grad_norm},
+                                        {"tok_s", tok_s},
+                                        {"lr", lr}});
+      }
+      window_t0 = now;
+      window_tokens = 0;
     }
   }
   result.final_val_loss = eval_lm_loss(model, corpus.val, cfg.batch);
+  obs::log_info("pretrain.done",
+                {{"steps", cfg.steps}, {"val_loss", result.final_val_loss}});
   return result;
 }
 

@@ -1,10 +1,13 @@
 #include "nn/sampler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace eva::nn {
@@ -411,6 +414,13 @@ class WalkLegality {
 
 SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
                              Rng& rng, const SampleOptions& opts) {
+  static obs::Counter& seqs_c = obs::counter("sampler.sequences");
+  static obs::Counter& toks_c = obs::counter("sampler.tokens");
+  static obs::Histogram& len_h = obs::histogram("sampler.seq_len");
+  static obs::Histogram& kv_h = obs::histogram("sampler.kv_cache_len");
+  obs::Span span("sampler.sequence");
+  const auto t0 = std::chrono::steady_clock::now();
+
   const int max_len =
       opts.max_len > 0 ? std::min(opts.max_len, model.config().max_seq)
                        : model.config().max_seq;
@@ -470,6 +480,20 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
     res.ids.push_back(next);
     if (opts.legality_mask) legality.on_token(next);
     token = next;
+  }
+
+  // One logprob per decode step, so its size is the number of
+  // infer_step calls regardless of how the loop ended.
+  const auto decoded = static_cast<std::int64_t>(res.logprobs.size());
+  seqs_c.add();
+  toks_c.add(decoded);
+  len_h.record(static_cast<double>(res.ids.size()));
+  kv_h.record(static_cast<double>(cache.len));
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (dt > 0) {
+    obs::gauge("sampler.tokens_per_sec").set(static_cast<double>(decoded) / dt);
   }
   return res;
 }

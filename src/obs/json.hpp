@@ -1,0 +1,53 @@
+// Minimal JSON *emission* helpers shared by the obs sinks (logger JSONL
+// lines, metrics export, chrome-trace writer). Emission only — nothing in
+// the obs layer parses JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace eva::obs {
+
+/// Append `s` as a quoted, escaped JSON string.
+inline void json_string_into(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Append a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) become null.
+inline void json_number_into(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+inline void json_number_into(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace eva::obs

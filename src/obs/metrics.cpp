@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace eva::obs {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map: stable addresses (values are unique_ptr) and sorted export.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();  // leaked: outlives late atexit users
+    // Registered after construction, so the flush runs while the
+    // registry is still alive even under static-destruction reordering.
+    std::atexit([] { write_metrics_if_configured(); });
+    return reg;
+  }();
+  return *r;
+}
+
+template <class T>
+T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& m,
+          std::mutex& mu, std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+/// splitmix64: deterministic reservoir replacement index from the count.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t Counter::stripe() noexcept {
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 7;
+  return idx;
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+  if (reservoir_.size() < kReservoir) {
+    reservoir_.push_back(v);
+  } else {
+    reservoir_[mix(count_) % kReservoir] = v;
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> sample;
+  HistogramSnapshot s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (count_ == 0) return s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.mean = sum_ / static_cast<double>(count_);
+    sample = reservoir_;
+  }
+  s.p50 = percentile(sample, 50.0);
+  s.p90 = percentile(sample, 90.0);
+  s.p99 = percentile(sample, 99.0);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  reservoir_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  return lookup(r.counters, r.mu, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  return lookup(r.gauges, r.mu, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  return lookup(r.histograms, r.mu, name);
+}
+
+std::string metrics_to_json() {
+  Registry& r = registry();
+  std::string out = "{\n  \"counters\": {";
+  // Snapshot the name->pointer views under the lock; metric reads
+  // themselves are internally synchronized.
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& [k, v] : r.counters) cs.emplace_back(k, v.get());
+    for (const auto& [k, v] : r.gauges) gs.emplace_back(k, v.get());
+    for (const auto& [k, v] : r.histograms) hs.emplace_back(k, v.get());
+  }
+  bool first = true;
+  for (const auto& [name, c] : cs) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string_into(out, name);
+    out += ": ";
+    json_number_into(out, c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gs) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string_into(out, name);
+    out += ": ";
+    json_number_into(out, g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : hs) {
+    const HistogramSnapshot s = h->snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string_into(out, name);
+    out += ": {\"count\": " + std::to_string(s.count);
+    out += ", \"min\": ";
+    json_number_into(out, s.min);
+    out += ", \"max\": ";
+    json_number_into(out, s.max);
+    out += ", \"mean\": ";
+    json_number_into(out, s.mean);
+    out += ", \"p50\": ";
+    json_number_into(out, s.p50);
+    out += ", \"p90\": ";
+    json_number_into(out, s.p90);
+    out += ", \"p99\": ";
+    json_number_into(out, s.p99);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_metrics(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = metrics_to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_metrics_if_configured() {
+  const char* path = std::getenv("EVA_METRICS_FILE");
+  if (!path || !*path) return false;
+  return write_metrics(path);
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [k, c] : r.counters) c->reset();
+  for (auto& [k, g] : r.gauges) g->reset();
+  for (auto& [k, h] : r.histograms) h->reset();
+}
+
+}  // namespace eva::obs

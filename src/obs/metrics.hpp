@@ -1,0 +1,116 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// Designed for the PR-1 thread pool: Counter::add is a relaxed atomic
+// increment on one of 8 cache-line-sized stripes selected per thread, so
+// pool workers never contend on a shared line; Gauge is a single relaxed
+// atomic store; Histogram takes a per-instance mutex but is only used on
+// per-step / per-solve granularity, never inside elementwise loops.
+//
+// Lookup by name (counter("x")) takes a registry mutex — hot paths cache
+// the returned reference in a function-local static:
+//
+//   static obs::Counter& tokens = obs::counter("sampler.tokens");
+//   tokens.add(n);
+//
+// References stay valid for the process lifetime; reset_metrics() (tests)
+// zeroes values but never deallocates.
+//
+// Export: metrics_to_json() renders {"counters":{...},"gauges":{...},
+// "histograms":{name:{count,min,max,mean,p50,p90,p99}}}; when
+// EVA_METRICS_FILE is set the registry writes that JSON there at process
+// exit (and on demand via write_metrics()). Percentiles come from
+// util/stats over a bounded reservoir per histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eva::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    cells_[stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  static std::size_t stripe() noexcept;
+  std::array<Cell, 8> cells_;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double min = 0.0, max = 0.0, mean = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+
+/// Running min/max/mean over all recorded values plus percentile
+/// estimates over a deterministic bounded reservoir (replacement index
+/// derived from the running count, no RNG state).
+class Histogram {
+ public:
+  void record(double v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kReservoir = 4096;
+  mutable std::mutex mu_;
+  std::vector<double> reservoir_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry lookup; creates on first use. Returned references are valid
+/// for the process lifetime.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Full registry as a JSON object (stable name order).
+[[nodiscard]] std::string metrics_to_json();
+
+/// Write metrics_to_json() to `path`. Returns false on I/O failure.
+bool write_metrics(const std::string& path);
+
+/// Write to $EVA_METRICS_FILE if set (also runs automatically at process
+/// exit). Returns false when unset or on I/O failure.
+bool write_metrics_if_configured();
+
+/// Zero every registered metric (values only; objects stay alive so
+/// cached references in hot paths never dangle). For tests.
+void reset_metrics();
+
+}  // namespace eva::obs

@@ -1,0 +1,28 @@
+// Umbrella header for the observability layer (DESIGN.md "Observability"):
+//   log.hpp      structured leveled logging (stderr + JSONL)
+//   metrics.hpp  counters / gauges / histograms with JSON export
+//   trace.hpp    scoped spans -> chrome://tracing JSON
+//
+// Environment reference:
+//   EVA_LOG_LEVEL     trace|debug|info|warn|error|off (default info)
+//   EVA_LOG_FILE      JSONL log sink path
+//   EVA_METRICS_FILE  metrics JSON written here at exit / flush()
+//   EVA_TRACE_FILE    chrome trace JSON written here at exit / flush();
+//                     setting it is what enables span recording
+#pragma once
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace eva::obs {
+
+/// Write the metrics and trace files now (if the env vars are set).
+/// Also runs automatically at process exit; call mid-run to checkpoint
+/// observability state from long jobs.
+inline void flush() {
+  write_metrics_if_configured();
+  write_trace_if_configured();
+}
+
+}  // namespace eva::obs

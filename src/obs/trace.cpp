@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace eva::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+};
+
+/// Per-thread event buffer. Owned by the global state (so it survives
+/// thread exit); the thread keeps only a raw pointer. Bounded so a
+/// traced long run cannot exhaust memory — overflow counts as dropped.
+struct ThreadBuf {
+  static constexpr std::size_t kMaxEvents = 1u << 18;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  Clock::time_point t0 = Clock::now();
+  std::mutex mu;  // guards bufs
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::atomic<std::uint32_t> next_tid{1};
+
+  TraceState() {
+    const char* path = std::getenv("EVA_TRACE_FILE");
+    enabled.store(path && *path, std::memory_order_relaxed);
+  }
+};
+
+TraceState& state() {
+  static TraceState* s = [] {
+    auto* st = new TraceState();  // leaked: spans may outlive static dtors
+    std::atexit([] { write_trace_if_configured(); });
+    return st;
+  }();
+  return *s;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf* buf = [] {
+    auto owned = std::make_unique<ThreadBuf>();
+    TraceState& st = state();
+    owned->tid = st.next_tid.fetch_add(1, std::memory_order_relaxed);
+    ThreadBuf* raw = owned.get();
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.bufs.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+void reload_trace_env() {
+  const char* path = std::getenv("EVA_TRACE_FILE");
+  set_trace_enabled(path && *path);
+}
+
+namespace detail {
+
+std::uint64_t trace_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            state().t0)
+          .count());
+}
+
+void trace_record(const char* name, std::uint64_t t0_us) noexcept {
+  const std::uint64_t now = trace_now_us();
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() >= ThreadBuf::kMaxEvents) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{name, t0_us, now - t0_us});
+}
+
+}  // namespace detail
+
+std::string trace_to_json() {
+  TraceState& st = state();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lk(st.mu);
+  for (const auto& buf : st.bufs) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    dropped += buf->dropped;
+    for (const TraceEvent& e : buf->events) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\":";
+      json_string_into(out, e.name);
+      out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(buf->tid);
+      out += ",\"ts\":";
+      out += std::to_string(e.ts_us);
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+      out += "}";
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (dropped > 0) {
+    out += ",\"otherData\":{\"dropped_events\":" + std::to_string(dropped) +
+           "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = trace_to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_trace_if_configured() {
+  const char* path = std::getenv("EVA_TRACE_FILE");
+  if (!path || !*path) return false;
+  return write_trace(path);
+}
+
+void clear_trace() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  for (auto& buf : st.bufs) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+}  // namespace eva::obs

@@ -1,0 +1,66 @@
+// Scoped spans serialized to the chrome://tracing "trace event" JSON
+// format, so a pretrain or PPO run can be opened in Perfetto / chrome
+// tracing (load the file written to EVA_TRACE_FILE).
+//
+// Recording is per-thread: each thread appends complete-duration events
+// ("ph":"X") to its own buffer (one short uncontended lock per span), and
+// the writer stitches all buffers into one JSON object at flush. Buffers
+// live for the process lifetime, so spans from pool workers that have
+// already exited still reach the file.
+//
+// Cost model: when tracing is disabled (EVA_TRACE_FILE unset) a Span is
+// one relaxed atomic load and a branch — cheap enough to leave in the
+// GEMM dispatch and parallel-region hot paths. Span names must be string
+// literals (they are stored as pointers, not copied).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eva::obs {
+
+[[nodiscard]] bool trace_enabled() noexcept;
+/// Programmatic override (tests, selective tracing of one phase).
+void set_trace_enabled(bool on);
+/// Re-read EVA_TRACE_FILE to decide the enabled default. For tests.
+void reload_trace_env();
+
+namespace detail {
+[[nodiscard]] std::uint64_t trace_now_us() noexcept;
+void trace_record(const char* name, std::uint64_t t0_us) noexcept;
+}  // namespace detail
+
+/// RAII span: measures construction -> destruction as one trace event on
+/// the current thread. `name` must outlive the program (string literal).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(trace_enabled() ? name : nullptr),
+        t0_(name_ ? detail::trace_now_us() : 0) {}
+  ~Span() {
+    if (name_) detail::trace_record(name_, t0_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t t0_;
+};
+
+/// All recorded events as a chrome "trace event format" JSON object:
+/// {"traceEvents":[{"name":...,"ph":"X","pid":1,"tid":N,"ts":...,
+/// "dur":...},...],"displayTimeUnit":"ms"}.
+[[nodiscard]] std::string trace_to_json();
+
+/// Write trace_to_json() to `path`. Returns false on I/O failure.
+bool write_trace(const std::string& path);
+
+/// Write to $EVA_TRACE_FILE if set (also runs automatically at process
+/// exit). Returns false when unset or on I/O failure.
+bool write_trace_if_configured();
+
+/// Drop all buffered events. For tests.
+void clear_trace();
+
+}  // namespace eva::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/optim.hpp"
 
 namespace eva::rl {
@@ -76,8 +79,12 @@ DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
     probe_lose.push_back(&pairs[static_cast<std::size_t>(i)].lose);
   }
 
+  static obs::Counter& steps_c = obs::counter("dpo.steps");
+  static obs::Histogram& loss_h = obs::histogram("dpo.loss");
+
   DpoStats stats;
   for (int step = 0; step < cfg_.steps; ++step) {
+    obs::Span step_span("dpo.step");
     opt.zero_grad();
     Tensor loss_sum;
     double acc = 0;
@@ -103,11 +110,21 @@ DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
 
     stats.loss.push_back(loss.item());
     stats.reward_acc.push_back(acc / cfg_.pairs_per_step);
+    steps_c.add();
+    loss_h.record(loss.item());
+    obs::gauge("dpo.loss").set(loss.item());
+    obs::gauge("dpo.reward_acc").set(stats.reward_acc.back());
     if (!probe_win.empty()) {
       stats.logp_win.push_back(mean_logprob(probe_win));
       stats.logp_lose.push_back(mean_logprob(probe_lose));
     }
-    if (on_step) on_step(step, stats.loss.back());
+    if (on_step) {
+      on_step(step, stats.loss.back());
+    } else if (step % 10 == 0 || step + 1 == cfg_.steps) {
+      obs::log_info("dpo.step", {{"step", step},
+                                 {"loss", stats.loss.back()},
+                                 {"reward_acc", stats.reward_acc.back()}});
+    }
   }
   return stats;
 }

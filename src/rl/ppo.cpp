@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/optim.hpp"
 
 namespace eva::rl {
@@ -24,12 +27,29 @@ PpoTrainer::PpoTrainer(nn::TransformerLM& policy, const nn::Tokenizer& tok,
 }
 
 void PpoTrainer::collect_rollouts(std::vector<Rollout>& out) {
+  static obs::Counter& rollouts_c = obs::counter("ppo.rollouts");
+  static obs::Counter& rollouts_valid_c = obs::counter("ppo.rollouts_valid");
+  obs::Span span("ppo.collect_rollouts");
+
   out.clear();
   nn::SampleOptions opts;
   opts.temperature = cfg_.temperature;
   opts.max_len = cfg_.max_len;
   const auto samples =
       nn::sample_batch(*policy_, *tok_, rng_, cfg_.rollouts, opts);
+
+  // Validity here = "decodes to a netlist at all"; the reward model grades
+  // everything beyond that.
+  int valid = 0;
+  for (const auto& s : samples) {
+    if (nn::ids_to_netlist(*tok_, s.ids).has_value()) ++valid;
+  }
+  rollouts_c.add(static_cast<std::int64_t>(samples.size()));
+  rollouts_valid_c.add(valid);
+  if (!samples.empty()) {
+    obs::gauge("ppo.rollout_validity_rate")
+        .set(static_cast<double>(valid) / static_cast<double>(samples.size()));
+  }
 
   for (const auto& s : samples) {
     Rollout r;
@@ -100,6 +120,7 @@ PpoStats PpoTrainer::train(const std::function<void(int, double)>& on_epoch) {
   PpoStats stats;
   std::vector<Rollout> rollouts;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    obs::Span epoch_span("ppo.epoch");
     collect_rollouts(rollouts);
     if (rollouts.empty()) continue;
 
@@ -107,7 +128,17 @@ PpoStats PpoTrainer::train(const std::function<void(int, double)>& on_epoch) {
     for (const auto& r : rollouts) mean_r += r.seq_reward;
     mean_r /= static_cast<double>(rollouts.size());
     stats.mean_reward.push_back(mean_r);
-    if (on_epoch) on_epoch(epoch, mean_r);
+    obs::gauge("ppo.mean_reward").set(mean_r);
+    if (on_epoch) {
+      on_epoch(epoch, mean_r);
+    } else {
+      obs::log_info(
+          "ppo.epoch",
+          {{"epoch", epoch},
+           {"mean_reward", mean_r},
+           {"rollouts", static_cast<std::int64_t>(rollouts.size())},
+           {"validity_rate", obs::gauge("ppo.rollout_validity_rate").value()}});
+    }
 
     // Advantage normalization across the whole rollout batch.
     {
@@ -188,6 +219,8 @@ PpoStats PpoTrainer::train(const std::function<void(int, double)>& on_epoch) {
         stats.policy_loss.push_back(l_policy.item());
         stats.value_loss.push_back(l_value.item());
         stats.total_loss.push_back(loss.item());
+        obs::histogram("ppo.policy_loss").record(l_policy.item());
+        obs::histogram("ppo.value_loss").record(l_value.item());
       }
     }
   }

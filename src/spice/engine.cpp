@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "circuit/validity.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace eva::spice {
 
@@ -366,11 +369,15 @@ void Simulator::stamp_dc(DenseMatrix<double>& a, std::vector<double>& rhs,
 bool Simulator::newton(double source_scale) {
   const auto total = static_cast<std::size_t>(num_nodes_ + num_vsrc_);
   for (int iter = 0; iter < opts_.max_newton_iter; ++iter) {
+    ++dc_result_.iterations;
     DenseMatrix<double> a(total);
     std::vector<double> rhs(total, 0.0);
     stamp_dc(a, rhs, v_, source_scale);
     std::vector<double> x = rhs;
-    if (!lu_solve(std::move(a), x)) return false;
+    if (!lu_solve(std::move(a), x)) {
+      ++dc_result_.failed_attempts;
+      return false;
+    }
     double max_dv = 0.0;
     for (std::size_t n = 0; n < static_cast<std::size_t>(num_nodes_); ++n) {
       double dv = x[n] - v_[n];
@@ -383,23 +390,47 @@ bool Simulator::newton(double source_scale) {
     }
     if (max_dv < opts_.newton_tol) return true;
   }
+  ++dc_result_.failed_attempts;
   return false;
 }
 
 bool Simulator::solve_dc() {
+  static obs::Counter& solves = obs::counter("spice.dc_solves");
+  static obs::Counter& nonconverged = obs::counter("spice.dc_nonconverged");
+  static obs::Histogram& iters_h = obs::histogram("spice.nr_iters");
+
+  obs::Span span("spice.solve_dc");
   dc_converged_ = false;
+  dc_result_ = SolveResult{};
+  solves.add();
   std::fill(v_.begin(), v_.end(), 0.0);
   if (newton(1.0)) {
     dc_converged_ = true;
-    return true;
+  } else {
+    // Source stepping: ramp supplies, reusing each solution as the guess.
+    dc_result_.used_source_stepping = true;
+    std::fill(v_.begin(), v_.end(), 0.0);
+    dc_converged_ = true;
+    for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+      if (!newton(scale)) {
+        dc_converged_ = false;
+        break;
+      }
+    }
   }
-  // Source stepping: ramp supplies, reusing each solution as the guess.
-  std::fill(v_.begin(), v_.end(), 0.0);
-  for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
-    if (!newton(scale)) return false;
+  dc_result_.converged = dc_converged_;
+  iters_h.record(static_cast<double>(dc_result_.iterations));
+  if (!dc_converged_) {
+    // Previously this path returned without any signal; now every give-up
+    // is counted and (rate-limited) logged with its attempt trail.
+    nonconverged.add();
+    obs::log_every_n(obs::LogLevel::kWarn, "spice.dc_nonconverged", 64,
+                     {{"devices", nl_->num_devices()},
+                      {"nodes", num_nodes_},
+                      {"iterations", dc_result_.iterations},
+                      {"failed_attempts", dc_result_.failed_attempts}});
   }
-  dc_converged_ = true;
-  return true;
+  return dc_converged_;
 }
 
 double Simulator::io_voltage(IoPin pin) const {
@@ -574,14 +605,20 @@ std::vector<AcPoint> Simulator::ac_sweep(double f_lo, double f_hi,
   return sweep;
 }
 
-bool simulatable(const Netlist& nl) {
-  if (!circuit::structurally_valid(nl)) return false;
+SimVerdict simulatable_verdict(const Netlist& nl) {
+  if (!circuit::structurally_valid(nl)) {
+    return SimVerdict::kStructurallyInvalid;
+  }
   try {
     Simulator sim(nl, default_sizing(nl));
-    return sim.solve_dc();
+    return sim.solve_dc() ? SimVerdict::kOk : SimVerdict::kNonConverged;
   } catch (const Error&) {
-    return false;
+    return SimVerdict::kError;
   }
+}
+
+bool simulatable(const Netlist& nl) {
+  return simulatable_verdict(nl) == SimVerdict::kOk;
 }
 
 }  // namespace eva::spice

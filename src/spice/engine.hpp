@@ -51,6 +51,18 @@ struct AcPoint {
   std::complex<double> h;  // Vout / Vin
 };
 
+/// Outcome of a DC solve. Distinguishes "the solver gave up" from
+/// "this circuit has no operating point worth reporting": a failed
+/// Newton attempt that the source-stepping fallback rescues still
+/// counts in failed_attempts, and a final non-convergence leaves
+/// converged == false with the attempt trail intact.
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;           // NR iterations summed over all attempts
+  int failed_attempts = 0;      // attempts that hit the cap or a singular LU
+  bool used_source_stepping = false;
+};
+
 /// DC + AC simulation of one sized netlist.
 ///
 /// Preconditions: the netlist must be structurally valid (all pins in
@@ -62,7 +74,13 @@ class Simulator {
             SimOptions opts = {});
 
   /// Newton DC solve (with source-stepping fallback). Returns success.
+  /// Iteration counts, fallback use and failure detail are recorded in
+  /// dc_result() and in the obs metrics (spice.nr_iters histogram,
+  /// spice.dc_nonconverged counter).
   [[nodiscard]] bool solve_dc();
+
+  /// Detail of the most recent solve_dc() call.
+  [[nodiscard]] const SolveResult& dc_result() const { return dc_result_; }
 
   /// Voltage of the net containing the given IO pin at the DC point.
   /// Requires a converged DC solve. Returns 0 for the ground net.
@@ -114,10 +132,23 @@ class Simulator {
   int vdd_src_ = -1;  // index into vsrcs_ of the VDD source
   std::vector<double> v_;  // solution: node voltages then source currents
   bool dc_converged_ = false;
+  SolveResult dc_result_;
 };
 
+/// Why a netlist failed (or passed) the validity predicate. Lets the
+/// validity metrics separate "invalid circuit" from "solver gave up".
+enum class SimVerdict {
+  kOk,                   // structurally valid and DC-converged
+  kStructurallyInvalid,  // failed circuit::structurally_valid
+  kNonConverged,         // Newton + source stepping both gave up
+  kError,                // netlist -> MNA mapping threw (malformed input)
+};
+
+[[nodiscard]] SimVerdict simulatable_verdict(const circuit::Netlist& nl);
+
 /// The paper's validity predicate: structurally sound AND simulatable with
-/// default sizing (DC operating point exists).
+/// default sizing (DC operating point exists). Equivalent to
+/// simulatable_verdict(nl) == SimVerdict::kOk.
 [[nodiscard]] bool simulatable(const circuit::Netlist& nl);
 
 }  // namespace eva::spice

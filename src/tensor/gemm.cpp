@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace eva::tensor {
 
 namespace {
+
+/// FLOP accounting for every kernel entry (2*M*K*N per GEMM). One relaxed
+/// striped add per call; bench_micro and the trainer read the counter to
+/// report GFLOP/s without re-deriving shapes.
+void count_flops(std::size_t m, std::size_t k, std::size_t n) {
+  static obs::Counter& flops = obs::counter("tensor.gemm_flops");
+  flops.add(static_cast<std::int64_t>(2 * m * k * n));
+}
 
 // Register tile: MR rows x NR columns of C. NR = 32 floats = two 64-byte
 // cache lines per row, picked empirically: with AVX2/AVX-512 the full
@@ -63,6 +73,8 @@ void micro_kernel(std::size_t kc, const float* a, std::size_t rsa,
 
 void gemm_nn(const float* A, const float* B, float* C, std::size_t M,
              std::size_t K, std::size_t N) {
+  obs::Span span("gemm_nn");
+  count_flops(M, K, N);
   parallel_chunks(
       0, M,
       [&](std::size_t lo, std::size_t hi) {
@@ -83,6 +95,8 @@ void gemm_nn(const float* A, const float* B, float* C, std::size_t M,
 
 void gemm_nt(const float* A, const float* B, float* C, std::size_t M,
              std::size_t K, std::size_t N) {
+  obs::Span span("gemm_nt");
+  count_flops(M, K, N);
   parallel_chunks(
       0, M,
       [&](std::size_t lo, std::size_t hi) {
@@ -110,6 +124,8 @@ void gemm_nt(const float* A, const float* B, float* C, std::size_t M,
 
 void gemm_tn(const float* A, const float* B, float* C, std::size_t K,
              std::size_t M, std::size_t N) {
+  obs::Span span("gemm_tn");
+  count_flops(K, M, N);
   // Column-stripe partition: each thread owns C[:, n0:n1) and reduces
   // over all of K for it, so concurrent accumulation never races.
   parallel_chunks(
@@ -132,6 +148,10 @@ void gemm_tn(const float* A, const float* B, float* C, std::size_t K,
 
 void gemv(const float* x, const float* w, const float* bias, float* y,
           std::size_t in, std::size_t out) {
+  // No span here: gemv runs several times per generated token and a
+  // trace event each would swamp the buffers; the flop counter is one
+  // relaxed add.
+  count_flops(1, in, out);
   // One-row variant of the micro-kernel. The strip is wider than kNr
   // because a single row has no row-reuse to feed: 64 floats per strip
   // covers the whole output of the d_model-sized inference linears in

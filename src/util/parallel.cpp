@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace eva {
 
 namespace {
@@ -194,6 +196,9 @@ void parallel_chunks(std::size_t begin, std::size_t end,
   // orders are reproducible for a fixed thread setting regardless of
   // which worker executes which chunk.
   const std::size_t chunk = (n + workers - 1) / workers;
+  // Span covers submit -> drain of the whole region on the submitting
+  // thread (worker-side time shows up as the gaps between regions).
+  obs::Span span("parallel_region");
   Pool::instance().run(begin, end, fn, chunk, workers);
 }
 

@@ -1,0 +1,420 @@
+// Tests for the observability layer (src/obs): metrics registry
+// correctness under the thread pool, logger sinks and env control, trace
+// JSON well-formedness. Run these under EVA_SANITIZE=thread to certify
+// the concurrent paths.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace eva;
+
+// --- minimal JSON validator -------------------------------------------------
+// Recursive-descent structural check (no value extraction): enough to
+// catch unbalanced braces, missing commas, and broken string escaping in
+// the exporters without pulling in a JSON library.
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        ++i;  // skip escaped char ("\uXXXX" leaves XXXX as literals — fine)
+      } else if (c == '"') {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    ws();
+    bool digit = false;
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E')) {
+      digit = digit || std::isdigit(static_cast<unsigned char>(s[i])) != 0;
+      ++i;
+    }
+    return i > start && digit;
+  }
+  bool literal(std::string_view word) {
+    ws();
+    if (s.substr(i, word.size()) == word) {
+      i += word.size();
+      return true;
+    }
+    return false;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': return string();
+      case '{': return object();
+      case '[': return array();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+};
+
+bool json_valid(std::string_view text) {
+  JsonParser p{text};
+  if (!p.value()) return false;
+  p.ws();
+  return p.i == text.size();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- JSON validator self-test ----------------------------------------------
+
+TEST(ObsJson, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_valid(R"({"a":1,"b":[1,2.5,-3e4],"c":{"d":"x\"y"}})"));
+  EXPECT_TRUE(json_valid(R"([true,false,null])"));
+  EXPECT_FALSE(json_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_valid(R"({"a":})"));
+  EXPECT_FALSE(json_valid(R"({"a":1}extra)"));
+  EXPECT_FALSE(json_valid(R"({"unterminated)"));
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ObsMetrics, CounterConcurrentIncrementsAreExact) {
+  obs::Counter& c = obs::counter("test.concurrent_counter");
+  c.reset();
+  const std::size_t n = 10000;
+  set_num_threads(4);
+  parallel_for(0, n, [&](std::size_t) { c.add(); });
+  set_num_threads(0);
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(n));
+}
+
+TEST(ObsMetrics, CounterAddWithWeightAndReset) {
+  obs::Counter& c = obs::counter("test.weighted_counter");
+  c.reset();
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(ObsMetrics, RegistryReturnsSameObjectForSameName) {
+  obs::Counter& a = obs::counter("test.same_name");
+  obs::Counter& b = obs::counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(ObsMetrics, GaugeStoresLastValue) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(ObsMetrics, HistogramPercentileSnapshot) {
+  obs::Histogram& h = obs::histogram("test.hist_percentiles");
+  h.reset();
+  // 1..1000 fits the reservoir, so percentiles are exact interpolations.
+  for (int v = 1; v <= 1000; ++v) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+  EXPECT_NEAR(s.p90, 900.0, 1.5);
+  EXPECT_NEAR(s.p99, 990.0, 1.5);
+}
+
+TEST(ObsMetrics, EmptyHistogramSnapshotIsZero) {
+  obs::Histogram& h = obs::histogram("test.hist_empty");
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(ObsMetrics, HistogramBeyondReservoirKeepsExactAggregates) {
+  obs::Histogram& h = obs::histogram("test.hist_overflow");
+  h.reset();
+  const int n = 10000;  // > reservoir capacity (4096)
+  for (int v = 0; v < n; ++v) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, n - 1.0);
+  EXPECT_NEAR(s.mean, (n - 1.0) / 2.0, 1e-6);
+  // Percentiles are sampled, but must stay inside the recorded range
+  // and keep their ordering.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramAndCounterFromPool) {
+  obs::Counter& c = obs::counter("test.pool_counter");
+  obs::Histogram& h = obs::histogram("test.pool_hist");
+  c.reset();
+  h.reset();
+  const std::size_t n = 2000;
+  set_num_threads(4);
+  parallel_for(0, n, [&](std::size_t i) {
+    c.add(2);
+    h.record(static_cast<double>(i));
+  });
+  set_num_threads(0);
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(2 * n));
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(n));
+}
+
+TEST(ObsMetrics, MetricsJsonIsWellFormed) {
+  obs::counter("test.json_counter").add(42);
+  obs::gauge("test.json_gauge").set(3.5);
+  obs::histogram("test.json_hist").record(1.0);
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+}
+
+TEST(ObsMetrics, WriteMetricsProducesValidFile) {
+  const std::string path = ::testing::TempDir() + "eva_test_metrics.json";
+  obs::counter("test.file_counter").add(1);
+  ASSERT_TRUE(obs::write_metrics(path));
+  const std::string content = read_file(path);
+  EXPECT_TRUE(json_valid(content)) << content;
+  std::remove(path.c_str());
+}
+
+// --- logging ----------------------------------------------------------------
+
+TEST(ObsLog, ParseLevelNamesCaseInsensitive) {
+  using obs::LogLevel;
+  EXPECT_EQ(obs::parse_log_level("trace", LogLevel::kOff), LogLevel::kTrace);
+  EXPECT_EQ(obs::parse_log_level("DEBUG", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("Info", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(obs::parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(ObsLog, EnvVarDrivesLevelFiltering) {
+  ::setenv("EVA_LOG_LEVEL", "error", 1);
+  obs::reload_log_env();
+  EXPECT_EQ(obs::log_level(), obs::LogLevel::kError);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+
+  ::setenv("EVA_LOG_LEVEL", "debug", 1);
+  obs::reload_log_env();
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kTrace));
+
+  ::unsetenv("EVA_LOG_LEVEL");
+  obs::set_log_level(obs::LogLevel::kInfo);
+}
+
+TEST(ObsLog, FilteredEventsDoNotReachTheJsonlSink) {
+  const std::string path = ::testing::TempDir() + "eva_test_filtered.jsonl";
+  std::remove(path.c_str());
+  obs::set_log_stderr(false);
+  obs::set_log_level(obs::LogLevel::kWarn);
+  obs::set_log_file(path);
+  obs::log_info("test.should_be_dropped");
+  obs::log_warn("test.should_appear");
+  obs::set_log_file("");
+  obs::set_log_level(obs::LogLevel::kInfo);
+  obs::set_log_stderr(true);
+
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.find("should_be_dropped"), std::string::npos);
+  EXPECT_NE(content.find("should_appear"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, ConcurrentJsonlLinesAreWholeAndValid) {
+  const std::string path = ::testing::TempDir() + "eva_test_concurrent.jsonl";
+  std::remove(path.c_str());
+  obs::set_log_stderr(false);
+  obs::set_log_file(path);
+  obs::Counter& c = obs::counter("test.log_counter");
+  c.reset();
+  const std::size_t n = 500;
+  set_num_threads(4);
+  parallel_for(0, n, [&](std::size_t i) {
+    c.add();
+    obs::log_info("test.worker_event", {{"i", i}, {"tag", "worker"}});
+  });
+  set_num_threads(0);
+  obs::set_log_file("");
+  obs::set_log_stderr(true);
+
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(n));
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(json_valid(line)) << line;
+    EXPECT_NE(line.find("test.worker_event"), std::string::npos);
+  }
+  EXPECT_EQ(lines, n);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, RateLimitedLoggingEmitsFirstThenEveryNth) {
+  const std::string path = ::testing::TempDir() + "eva_test_ratelimit.jsonl";
+  std::remove(path.c_str());
+  obs::set_log_stderr(false);
+  obs::set_log_file(path);
+  for (int i = 0; i < 100; ++i) {
+    obs::log_every_n(obs::LogLevel::kWarn, "test.rate_limited", 10,
+                     {{"i", i}});
+  }
+  obs::set_log_file("");
+  obs::set_log_stderr(true);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(json_valid(line)) << line;
+    EXPECT_NE(line.find("\"count\":"), std::string::npos);
+  }
+  // Occurrences 1, 10, 20, ..., 100.
+  EXPECT_EQ(lines, 11u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, StringFieldsAreJsonEscaped) {
+  const std::string path = ::testing::TempDir() + "eva_test_escape.jsonl";
+  std::remove(path.c_str());
+  obs::set_log_stderr(false);
+  obs::set_log_file(path);
+  obs::log_info("test.escape", {{"msg", "quote\" backslash\\ tab\t"}});
+  obs::set_log_file("");
+  obs::set_log_stderr(true);
+
+  const std::string content = read_file(path);
+  ASSERT_FALSE(content.empty());
+  EXPECT_TRUE(json_valid(content.substr(0, content.find('\n')))) << content;
+  std::remove(path.c_str());
+}
+
+// --- tracing ----------------------------------------------------------------
+
+TEST(ObsTrace, DisabledSpanRecordsNothing) {
+  obs::set_trace_enabled(false);
+  obs::clear_trace();
+  { obs::Span span("test.disabled_span"); }
+  const std::string json = obs::trace_to_json();
+  EXPECT_EQ(json.find("test.disabled_span"), std::string::npos);
+}
+
+TEST(ObsTrace, SpansFromPoolWorkersProduceWellFormedChromeTrace) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  {
+    obs::Span outer("test.outer");
+    set_num_threads(4);
+    parallel_for(0, std::size_t{64}, [&](std::size_t) {
+      obs::Span inner("test.inner");
+    });
+    set_num_threads(0);
+  }
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(json_valid(json)) << json.substr(0, 512);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("test.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(ObsTrace, WriteTraceProducesValidFile) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  { obs::Span span("test.file_span"); }
+  obs::set_trace_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "eva_test_trace.json";
+  ASSERT_TRUE(obs::write_trace(path));
+  const std::string content = read_file(path);
+  EXPECT_TRUE(json_valid(content)) << content.substr(0, 512);
+  EXPECT_NE(content.find("test.file_span"), std::string::npos);
+  std::remove(path.c_str());
+  obs::clear_trace();
+}
+
+}  // namespace
