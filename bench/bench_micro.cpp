@@ -151,6 +151,71 @@ void BM_SampleTokenThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleTokenThroughput)->Unit(benchmark::kMillisecond);
 
+// Batch generation head-to-head on an identical 24-sequence workload:
+// the thread-fanout reference path (B independent single-sequence
+// decodes) vs the continuous-batching BatchedDecoder at several widths.
+// items_per_second == sampled tokens/sec in both, so the ratio is the
+// end-to-end speedup of batched decode.
+
+nn::SampleOptions batch_bench_opts() {
+  nn::SampleOptions opts;
+  opts.temperature = 0.9f;
+  opts.top_k = 12;
+  opts.max_len = 80;
+  return opts;
+}
+// Deployment-shaped model for the head-to-head: large enough that the
+// weight matrices overflow L2, so per-sequence gemv decode re-streams
+// every weight once per token per sequence while the batched engine
+// streams them once per step for the whole cohort. bench_scale weights
+// fit in L1/L2, which would hide exactly the effect being measured.
+nn::ModelConfig batch_bench_config(int vocab) {
+  return {vocab, 192, 4, 4, 768, 96, 0.0f};
+}
+constexpr int kBatchBenchSeqs = 24;
+
+void BM_SampleBatchReference(benchmark::State& state) {
+  const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
+  Rng rng(30);
+  nn::ModelConfig cfg = batch_bench_config(tok.vocab_size());
+  nn::TransformerLM model(cfg, rng);
+  const auto opts = batch_bench_opts();
+  Rng sample_rng(31);
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    const auto batch = nn::sample_batch_reference(model, tok, sample_rng,
+                                                  kBatchBenchSeqs, opts);
+    for (const auto& res : batch) {
+      tokens += static_cast<std::int64_t>(res.ids.size());
+    }
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_SampleBatchReference)->Unit(benchmark::kMillisecond);
+
+void BM_SampleBatchDecoder(benchmark::State& state) {
+  const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
+  Rng rng(30);
+  nn::ModelConfig cfg = batch_bench_config(tok.vocab_size());
+  nn::TransformerLM model(cfg, rng);
+  auto opts = batch_bench_opts();
+  opts.batch_width = static_cast<int>(state.range(0));
+  nn::BatchedDecoder decoder(model, tok, opts.batch_width, opts);
+  Rng sample_rng(31);
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    const auto batch = decoder.decode(sample_rng, kBatchBenchSeqs);
+    for (const auto& res : batch) {
+      tokens += static_cast<std::int64_t>(res.ids.size());
+    }
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_SampleBatchDecoder)->Arg(1)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 // --- circuit ----------------------------------------------------------------
 
 circuit::Netlist bench_netlist() {

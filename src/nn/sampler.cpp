@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
+#include <span>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,7 +22,7 @@ namespace {
 /// `scratch` is caller-owned top-k workspace reused across the whole
 /// sampled sequence (one allocation per sequence instead of one V-sized
 /// vector per token).
-std::pair<int, float> sample_from_logits(std::vector<float>& logits, Rng& rng,
+std::pair<int, float> sample_from_logits(std::span<float> logits, Rng& rng,
                                          float temperature, int top_k,
                                          std::vector<float>& scratch) {
   const int V = static_cast<int>(logits.size());
@@ -190,7 +193,7 @@ class WalkLegality {
   }
 
   /// Apply the mask to next-token logits.
-  void mask(std::vector<float>& logits, int start_token) const {
+  void mask(std::span<float> logits, int start_token) const {
     logits[Tokenizer::kPad] = -1e30f;
     if (prev_ >= 0) logits[static_cast<std::size_t>(prev_)] = -1e30f;
     const bool at_vss = prev_ == start_token;
@@ -410,33 +413,23 @@ class WalkLegality {
   std::map<int, std::map<std::uint64_t, int>> dev_count_;  // root -> dev -> #pins
 };
 
-}  // namespace
+/// Decode-time state of one in-flight sequence, shared by the reference
+/// path (one SeqState, one Cache) and BatchedDecoder (one per slot).
+/// Keeping the per-step decision logic in a single place is what makes
+/// the two engines token-identical by construction.
+struct SeqState {
+  SeqState(const Tokenizer& tok, const SampleOptions& opts, Rng* rng_in,
+           int max_len_in, int seq_in)
+      : legality(tok), rng(rng_in), max_len(max_len_in), seq(seq_in) {
+    token = tok.start_token();
+    res.ids.push_back(token);
+    if (opts.legality_mask) legality.on_token(token);
+  }
 
-SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
-                             Rng& rng, const SampleOptions& opts) {
-  static obs::Counter& seqs_c = obs::counter("sampler.sequences");
-  static obs::Counter& toks_c = obs::counter("sampler.tokens");
-  static obs::Histogram& len_h = obs::histogram("sampler.seq_len");
-  static obs::Histogram& kv_h = obs::histogram("sampler.kv_cache_len");
-  obs::Span span("sampler.sequence");
-  const auto t0 = std::chrono::steady_clock::now();
-
-  const int max_len =
-      opts.max_len > 0 ? std::min(opts.max_len, model.config().max_seq)
-                       : model.config().max_seq;
-  SampleResult res;
-  auto cache = model.make_cache();
-  std::vector<float> logits;
-  std::vector<float> topk_scratch;
-  WalkLegality legality(tok);
-  int token = tok.start_token();
-  res.ids.push_back(token);
-  if (opts.legality_mask) legality.on_token(token);
-  // Soft budget: begin guided closure around typical dataset tour lengths
-  // rather than letting an unsure model wander to the hard cap.
-  const int soft_len = std::max(48, (max_len * 3) / 4);
-  for (int t = 1; t < max_len; ++t) {
-    model.infer_step(cache, token, logits);
+  /// Consume this step's next-token logits; returns true when the
+  /// sequence is finished (EOS, malformed pad, or length cap).
+  bool advance(std::span<float> logits, const Tokenizer& tok,
+               const SampleOptions& opts, int soft_len) {
     int next = 0;
     float logp = 0.0f;
     const bool must_close =
@@ -455,7 +448,7 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
       // temperature-scaled and top-k-masked, so retries use T=1.)
       for (int tries = 0; tries < 8; ++tries) {
         const auto pick = sample_from_logits(
-            logits, rng, tries == 0 ? opts.temperature : 1.0f,
+            logits, *rng, tries == 0 ? opts.temperature : 1.0f,
             tries == 0 ? opts.top_k : 0, topk_scratch);
         next = pick.first;
         logp = pick.second;
@@ -463,44 +456,214 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
         logits[static_cast<std::size_t>(next)] = -1e30f;
       }
     } else {
-      const auto pick = sample_from_logits(logits, rng, opts.temperature,
+      const auto pick = sample_from_logits(logits, *rng, opts.temperature,
                                            opts.top_k, topk_scratch);
       next = pick.first;
       logp = pick.second;
     }
-    res.logprobs.push_back(logp);
+    ++t;
+    ++steps;
     if (next == Tokenizer::kEos) {
+      res.logprobs.push_back(logp);
       res.hit_eos = true;
-      break;
+      return true;
     }
     if (next == Tokenizer::kPad) {
-      // Pad mid-sequence: treat as a malformed ending.
-      break;
+      // Pad mid-sequence: a malformed ending. Not an accepted action, so
+      // no logprob entry (SampleResult invariant).
+      return true;
     }
+    res.logprobs.push_back(logp);
     res.ids.push_back(next);
     if (opts.legality_mask) legality.on_token(next);
     token = next;
+    return t >= max_len;
   }
 
-  // One logprob per decode step, so its size is the number of
-  // infer_step calls regardless of how the loop ended.
-  const auto decoded = static_cast<std::int64_t>(res.logprobs.size());
+  SampleResult res;
+  WalkLegality legality;
+  std::vector<float> topk_scratch;
+  Rng* rng;
+  int token = 0;
+  int t = 1;        // next decode-step index (mirrors the reference loop)
+  int steps = 0;    // transformer forwards consumed (== final KV length)
+  int max_len;
+  int seq;          // request index (result position)
+};
+
+int resolve_max_len(const TransformerLM& model, const SampleOptions& opts) {
+  return opts.max_len > 0 ? std::min(opts.max_len, model.config().max_seq)
+                          : model.config().max_seq;
+}
+
+/// Soft budget: begin guided closure around typical dataset tour lengths
+/// rather than letting an unsure model wander to the hard cap.
+int resolve_soft_len(int max_len) { return std::max(48, (max_len * 3) / 4); }
+
+void record_finished_sequence(const SeqState& st) {
+  static obs::Counter& seqs_c = obs::counter("sampler.sequences");
+  static obs::Counter& toks_c = obs::counter("sampler.tokens");
+  static obs::Histogram& len_h = obs::histogram("sampler.seq_len");
+  static obs::Histogram& kv_h = obs::histogram("sampler.kv_cache_len");
   seqs_c.add();
-  toks_c.add(decoded);
-  len_h.record(static_cast<double>(res.ids.size()));
-  kv_h.record(static_cast<double>(cache.len));
+  toks_c.add(static_cast<std::int64_t>(st.res.logprobs.size()));
+  len_h.record(static_cast<double>(st.res.ids.size()));
+  kv_h.record(static_cast<double>(st.steps));
+}
+
+}  // namespace
+
+SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
+                             Rng& rng, const SampleOptions& opts) {
+  obs::Span span("sampler.sequence");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const int max_len = resolve_max_len(model, opts);
+  const int soft_len = resolve_soft_len(max_len);
+  auto cache = model.make_cache();
+  std::vector<float> logits;
+  SeqState st(tok, opts, &rng, max_len, 0);
+  while (st.t < max_len) {
+    model.infer_step(cache, st.token, logits);
+    if (st.advance(logits, tok, opts, soft_len)) break;
+  }
+
+  record_finished_sequence(st);
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (dt > 0) {
-    obs::gauge("sampler.tokens_per_sec").set(static_cast<double>(decoded) / dt);
+    obs::gauge("sampler.tokens_per_sec")
+        .set(static_cast<double>(st.res.logprobs.size()) / dt);
   }
-  return res;
+  return st.res;
+}
+
+BatchedDecoder::BatchedDecoder(const TransformerLM& model, const Tokenizer& tok,
+                               int batch_width, SampleOptions opts)
+    : model_(&model),
+      tok_(&tok),
+      opts_(opts),
+      width_(std::max(1, batch_width)),
+      cache_(model.make_batched_cache(std::max(1, batch_width))) {}
+
+std::vector<SampleResult> BatchedDecoder::decode(Rng& rng, int n) {
+  static obs::Counter& steps_c = obs::counter("sampler.decode_steps");
+  static obs::Histogram& occ_h = obs::histogram("sampler.batch_occupancy");
+  obs::Span span("sampler.batched_decode");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<SampleResult> out(static_cast<std::size_t>(std::max(n, 0)));
+  if (n <= 0) return out;
+
+  // Per-sequence RNG streams, forked in request order — the same stream
+  // layout as the reference fan-out, and independent of batch width.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rngs.push_back(rng.fork());
+
+  const int max_len = resolve_max_len(*model_, opts_);
+  const int soft_len = resolve_soft_len(max_len);
+  const int width = std::min(width_, n);
+
+  std::vector<std::unique_ptr<SeqState>> slots(
+      static_cast<std::size_t>(width));
+  int next_seq = 0;
+  int in_flight = 0;
+  std::int64_t decoded_tokens = 0;
+  std::int64_t steps = 0;
+  double occupancy_sum = 0.0;
+
+  auto finish = [&](SeqState& st) {
+    record_finished_sequence(st);
+    decoded_tokens += static_cast<std::int64_t>(st.res.logprobs.size());
+    out[static_cast<std::size_t>(st.seq)] = std::move(st.res);
+  };
+  // Continuous batching: a freed slot is refilled from the pending queue
+  // immediately, so the next decode step already includes the fresh
+  // sequence at position 0 while its neighbours continue mid-stream.
+  auto refill = [&](int s) {
+    slots[static_cast<std::size_t>(s)].reset();
+    while (next_seq < n) {
+      cache_.reset_slot(s);
+      auto st = std::make_unique<SeqState>(*tok_, opts_, &rngs[next_seq],
+                                           max_len, next_seq);
+      ++next_seq;
+      if (st->t >= max_len) {  // degenerate cap: nothing to decode
+        finish(*st);
+        continue;
+      }
+      slots[static_cast<std::size_t>(s)] = std::move(st);
+      ++in_flight;
+      break;
+    }
+  };
+  for (int s = 0; s < width; ++s) refill(s);
+
+  std::vector<int> slot_ids, tokens;
+  std::vector<float> logits;
+  const auto vocab = static_cast<std::size_t>(model_->config().vocab);
+  while (in_flight > 0) {
+    slot_ids.clear();
+    tokens.clear();
+    for (int s = 0; s < width; ++s) {
+      if (slots[static_cast<std::size_t>(s)]) {
+        slot_ids.push_back(s);
+        tokens.push_back(slots[static_cast<std::size_t>(s)]->token);
+      }
+    }
+    {
+      obs::Span step_span("sampler.decode_step");
+      model_->infer_step_batched(cache_, slot_ids, tokens, logits);
+    }
+    steps_c.add();
+    ++steps;
+    const double occ = static_cast<double>(slot_ids.size()) /
+                       static_cast<double>(width_);
+    occ_h.record(occ);
+    occupancy_sum += occ;
+    for (std::size_t row = 0; row < slot_ids.size(); ++row) {
+      const int s = slot_ids[row];
+      SeqState& st = *slots[static_cast<std::size_t>(s)];
+      const std::span<float> row_logits(logits.data() + row * vocab, vocab);
+      if (st.advance(row_logits, *tok_, opts_, soft_len)) {
+        finish(st);
+        --in_flight;
+        refill(s);
+      }
+    }
+  }
+
+  if (steps > 0) {
+    obs::gauge("sampler.batch_occupancy")
+        .set(occupancy_sum / static_cast<double>(steps));
+  }
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (dt > 0) {
+    obs::gauge("sampler.tokens_per_sec")
+        .set(static_cast<double>(decoded_tokens) / dt);
+  }
+  return out;
 }
 
 std::vector<SampleResult> sample_batch(const TransformerLM& model,
                                        const Tokenizer& tok, Rng& rng, int n,
                                        const SampleOptions& opts) {
+  int width = opts.batch_width;
+  if (const char* env = std::getenv("EVA_BATCH_WIDTH")) {
+    const int w = std::atoi(env);
+    if (w > 0) width = w;
+  }
+  BatchedDecoder decoder(model, tok, std::max(1, std::min(width, n)), opts);
+  return decoder.decode(rng, n);
+}
+
+std::vector<SampleResult> sample_batch_reference(const TransformerLM& model,
+                                                 const Tokenizer& tok,
+                                                 Rng& rng, int n,
+                                                 const SampleOptions& opts) {
   std::vector<SampleResult> out(static_cast<std::size_t>(n));
   std::vector<Rng> rngs;
   rngs.reserve(static_cast<std::size_t>(n));

@@ -1,5 +1,17 @@
 // Autoregressive topology sampling (generation phase, paper §III-B):
 // start from the single context token VSS and sample until EOS.
+//
+// Two engines produce identical sequences from identical seeds:
+//
+//  * the reference path — sample_sequence / sample_batch_reference, one
+//    KV cache per sequence, thread-fanout parallelism;
+//  * the batched engine — BatchedDecoder, which steps up to B in-flight
+//    sequences through one batched transformer forward per token and
+//    refills finished slots from a pending queue (continuous batching).
+//    sample_batch routes through it.
+//
+// See DESIGN.md "Batched KV-cache decoding" for the slot lifecycle and
+// the determinism contract.
 #pragma once
 
 #include <optional>
@@ -22,25 +34,76 @@ struct SampleOptions {
   /// DC solvability: the paper's stated invalidity modes) stays entirely
   /// up to the model and is what the Validity metric measures.
   bool legality_mask = true;
+  /// Slot count of the BatchedDecoder behind sample_batch (overridable
+  /// at runtime with EVA_BATCH_WIDTH). Results never depend on it; only
+  /// throughput does.
+  int batch_width = 8;
 };
 
 struct SampleResult {
   std::vector<int> ids;            // starts with VSS, excludes EOS
-  std::vector<float> logprobs;     // log p of each sampled token (incl. EOS
-                                   // as the last entry when emitted)
+  /// log p (under the sampling distribution) of every *accepted action*,
+  /// in order: one entry per generated token in `ids` (i.e. ids[1:],
+  /// the start token is given, not sampled) plus, when `hit_eos`, one
+  /// final entry for the EOS action itself. Invariant:
+  ///     logprobs.size() == ids.size() - 1 + (hit_eos ? 1 : 0)
+  /// This matches PPO's action sequence exactly (rollout tokens =
+  /// ids + EOS-if-hit, one action per transition); a malformed ending
+  /// (pad sampled mid-sequence) contributes no entry. Forced guided-
+  /// closure tokens carry log p = 0 (they are deterministic, not drawn).
+  std::vector<float> logprobs;
   bool hit_eos = false;
 };
 
-/// Sample one sequence with the KV-cache inference path.
+/// Sample one sequence with the per-sequence KV-cache reference path.
 [[nodiscard]] SampleResult sample_sequence(const TransformerLM& model,
                                            const Tokenizer& tok, Rng& rng,
                                            const SampleOptions& opts = {});
 
-/// Sample `n` sequences, fanned out across worker threads (the model is
-/// read-only during inference). Deterministic given the seed rng.
+/// Sample `n` sequences through a BatchedDecoder of width
+/// min(opts.batch_width, n) (EVA_BATCH_WIDTH overrides). Deterministic
+/// given the seed rng; sequence i consumes the i-th fork of `rng`, the
+/// same stream layout as sample_batch_reference.
 [[nodiscard]] std::vector<SampleResult> sample_batch(
     const TransformerLM& model, const Tokenizer& tok, Rng& rng, int n,
     const SampleOptions& opts = {});
+
+/// Reference implementation of sample_batch: `n` independent
+/// single-sequence decodes fanned out across worker threads (the model
+/// is read-only during inference). Kept as the equivalence baseline for
+/// the batched engine and for ablation.
+[[nodiscard]] std::vector<SampleResult> sample_batch_reference(
+    const TransformerLM& model, const Tokenizer& tok, Rng& rng, int n,
+    const SampleOptions& opts = {});
+
+/// Continuous-batching decode engine. Holds a slotted KV cache
+/// (TransformerLM::BatchedCache) that persists across decode() calls, so
+/// long-lived owners (PPO rollouts, the Eva facade) allocate it once.
+///
+/// Determinism contract: sequence i is driven by the i-th fork of the
+/// decode() rng and by logits rows that do not depend on which other
+/// sequences share the step (see infer_step_batched), so the returned
+/// results are identical for any batch width — and token-identical to
+/// the reference path whenever the model's linears fit one gemm K-panel
+/// (all shipped configs below paper_scale).
+class BatchedDecoder {
+ public:
+  BatchedDecoder(const TransformerLM& model, const Tokenizer& tok,
+                 int batch_width, SampleOptions opts = {});
+
+  [[nodiscard]] int batch_width() const { return width_; }
+
+  /// Decode `n` sequences; out[i] is the i-th requested sequence
+  /// regardless of slot scheduling.
+  [[nodiscard]] std::vector<SampleResult> decode(Rng& rng, int n);
+
+ private:
+  const TransformerLM* model_;
+  const Tokenizer* tok_;
+  SampleOptions opts_;
+  int width_;
+  TransformerLM::BatchedCache cache_;
+};
 
 /// Decode a sampled id sequence into a netlist (appends the implicit
 /// return-to-VSS if absent is NOT done — the model must close the tour).

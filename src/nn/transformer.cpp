@@ -204,6 +204,75 @@ float gelu_scalar(float x) {
   return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
 }
 
+/// x = tok_emb[token] + pos_emb[pos], one d_model row.
+void embed_row(std::span<const float> te, std::span<const float> pe, int token,
+               int pos, int C, float* x) {
+  for (int i = 0; i < C; ++i) {
+    x[i] = te[static_cast<std::size_t>(token) * static_cast<std::size_t>(C) +
+              static_cast<std::size_t>(i)] +
+           pe[static_cast<std::size_t>(pos) * static_cast<std::size_t>(C) +
+              static_cast<std::size_t>(i)];
+  }
+}
+
+/// Causal attention for one query row over T cached positions. `kbase` /
+/// `vbase` point at position 0 of the sequence's cache (positions are
+/// C floats apart, head-major within a position) — the layout both Cache
+/// and BatchedCache slots use, so the reference and batched paths share
+/// this exact reduction order.
+void attend_row(const float* q, const float* kbase, const float* vbase, int T,
+                int C, int H, int hd, float* ctx, std::vector<float>& scores) {
+  scores.assign(static_cast<std::size_t>(T), 0.0f);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  for (int head = 0; head < H; ++head) {
+    const int off = head * hd;
+    float mx = -1e30f;
+    for (int t = 0; t < T; ++t) {
+      const float* kt = kbase +
+                        static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
+                        static_cast<std::size_t>(off);
+      float s = 0;
+      for (int i = 0; i < hd; ++i) s += q[off + i] * kt[i];
+      s *= scale;
+      scores[static_cast<std::size_t>(t)] = s;
+      mx = std::max(mx, s);
+    }
+    float z = 0;
+    for (int t = 0; t < T; ++t) {
+      scores[static_cast<std::size_t>(t)] =
+          std::exp(scores[static_cast<std::size_t>(t)] - mx);
+      z += scores[static_cast<std::size_t>(t)];
+    }
+    const float inv = 1.0f / z;
+    for (int i = 0; i < hd; ++i) ctx[off + i] = 0.0f;
+    for (int t = 0; t < T; ++t) {
+      const float p = scores[static_cast<std::size_t>(t)] * inv;
+      const float* vt = vbase +
+                        static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
+                        static_cast<std::size_t>(off);
+      for (int i = 0; i < hd; ++i) ctx[off + i] += p * vt[i];
+    }
+  }
+}
+
+/// Y(n,out) = X(n,in) @ W(in,out) + bias, the batched-decode linear: rows
+/// are seeded with the bias and one gemm_nn accumulates on top, so each
+/// row's value equals the gemv result whenever the reduction fits one
+/// K-panel (see infer_step_batched's contract in the header).
+void linear_batched(const float* x, std::span<const float> w,
+                    std::span<const float> b, float* y, std::size_t n, int in,
+                    int out) {
+  const auto outz = static_cast<std::size_t>(out);
+  if (b.empty()) {
+    std::fill(y, y + n * outz, 0.0f);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      std::copy(b.begin(), b.end(), y + r * outz);
+    }
+  }
+  tensor::gemm_nn(x, w.data(), y, n, static_cast<std::size_t>(in), outz);
+}
+
 }  // namespace
 
 void TransformerLM::infer_step(Cache& cache, int token,
@@ -216,17 +285,7 @@ void TransformerLM::infer_step(Cache& cache, int token,
   const int pos = cache.len;
 
   std::vector<float> x(static_cast<std::size_t>(C));
-  {
-    auto te = tok_emb_.data();
-    auto pe = pos_emb_.data();
-    for (int i = 0; i < C; ++i) {
-      x[static_cast<std::size_t>(i)] =
-          te[static_cast<std::size_t>(token) * static_cast<std::size_t>(C) +
-             static_cast<std::size_t>(i)] +
-          pe[static_cast<std::size_t>(pos) * static_cast<std::size_t>(C) +
-             static_cast<std::size_t>(i)];
-    }
-  }
+  embed_row(tok_emb_.data(), pos_emb_.data(), token, pos, C, x.data());
 
   std::vector<float> h(static_cast<std::size_t>(C));
   std::vector<float> q(static_cast<std::size_t>(C));
@@ -249,40 +308,8 @@ void TransformerLM::infer_step(Cache& cache, int token,
     cache.v[l].insert(cache.v[l].end(), kv.begin(), kv.end());
 
     // Attention over cached positions, per head.
-    const int T = pos + 1;
-    scores.assign(static_cast<std::size_t>(T), 0.0f);
-    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
-    for (int head = 0; head < H; ++head) {
-      const int off = head * hd;
-      float mx = -1e30f;
-      for (int t = 0; t < T; ++t) {
-        const float* kt = cache.k[l].data() +
-                          static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
-                          static_cast<std::size_t>(off);
-        float s = 0;
-        for (int i = 0; i < hd; ++i) s += q[static_cast<std::size_t>(off + i)] * kt[i];
-        s *= scale;
-        scores[static_cast<std::size_t>(t)] = s;
-        mx = std::max(mx, s);
-      }
-      float z = 0;
-      for (int t = 0; t < T; ++t) {
-        scores[static_cast<std::size_t>(t)] =
-            std::exp(scores[static_cast<std::size_t>(t)] - mx);
-        z += scores[static_cast<std::size_t>(t)];
-      }
-      const float inv = 1.0f / z;
-      for (int i = 0; i < hd; ++i) ctx[static_cast<std::size_t>(off + i)] = 0.0f;
-      for (int t = 0; t < T; ++t) {
-        const float p = scores[static_cast<std::size_t>(t)] * inv;
-        const float* vt = cache.v[l].data() +
-                          static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
-                          static_cast<std::size_t>(off);
-        for (int i = 0; i < hd; ++i) {
-          ctx[static_cast<std::size_t>(off + i)] += p * vt[i];
-        }
-      }
-    }
+    attend_row(q.data(), cache.k[l].data(), cache.v[l].data(), pos + 1, C, H,
+               hd, ctx.data(), scores);
     linear(ctx.data(), blk.wo.data(), blk.bo.data(), att.data(), C, C);
     for (int i = 0; i < C; ++i) x[static_cast<std::size_t>(i)] += att[static_cast<std::size_t>(i)];
 
@@ -299,6 +326,131 @@ void TransformerLM::infer_step(Cache& cache, int token,
   logits.assign(static_cast<std::size_t>(cfg_.vocab), 0.0f);
   linear(x.data(), lm_head_.data(), {}, logits.data(), C, cfg_.vocab);
   ++cache.len;
+}
+
+// ---------------------------------------------------------------------------
+// Batched inference path (slotted KV cache, one gemm per linear per step)
+// ---------------------------------------------------------------------------
+
+TransformerLM::BatchedCache TransformerLM::make_batched_cache(
+    int capacity) const {
+  EVA_REQUIRE(capacity > 0, "make_batched_cache: capacity must be positive");
+  BatchedCache c;
+  c.capacity = capacity;
+  c.slot_stride = cfg_.max_seq * cfg_.d_model;
+  const auto slab = static_cast<std::size_t>(capacity) *
+                    static_cast<std::size_t>(c.slot_stride);
+  c.k.assign(static_cast<std::size_t>(cfg_.n_layers), std::vector<float>(slab));
+  c.v.assign(static_cast<std::size_t>(cfg_.n_layers), std::vector<float>(slab));
+  c.len.assign(static_cast<std::size_t>(capacity), 0);
+  return c;
+}
+
+void TransformerLM::infer_step_batched(BatchedCache& cache,
+                                       const std::vector<int>& slots,
+                                       const std::vector<int>& tokens,
+                                       std::vector<float>& logits) const {
+  const std::size_t n = slots.size();
+  EVA_REQUIRE(n > 0 && tokens.size() == n,
+              "infer_step_batched: slots/tokens size mismatch");
+  const int C = cfg_.d_model;
+  const int H = cfg_.n_heads;
+  const int hd = C / H;
+  const auto Cz = static_cast<std::size_t>(C);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s = slots[i];
+    EVA_REQUIRE(s >= 0 && s < cache.capacity, "infer_step_batched: bad slot");
+    EVA_REQUIRE(cache.len[static_cast<std::size_t>(s)] < cfg_.max_seq,
+                "infer_step_batched: slot cache full");
+    EVA_REQUIRE(tokens[i] >= 0 && tokens[i] < cfg_.vocab,
+                "infer_step_batched: bad token");
+  }
+
+  auto& ws = cache.ws;
+  ws.x.resize(n * Cz);
+  ws.h.resize(n * Cz);
+  ws.q.resize(n * Cz);
+  ws.kv.resize(n * Cz);
+  ws.ctx.resize(n * Cz);
+  ws.att.resize(n * Cz);
+  ws.ff.resize(n * static_cast<std::size_t>(cfg_.d_ff));
+
+  // Embeddings: each row at its own slot's next position.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int pos = cache.len[static_cast<std::size_t>(slots[i])];
+    embed_row(tok_emb_.data(), pos_emb_.data(), tokens[i], pos, C,
+              ws.x.data() + i * Cz);
+  }
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    const Block& blk = blocks_[l];
+    // ln1 per row, then fused q/k/v projections for all rows at once.
+    ws.h = ws.x;
+    for (std::size_t i = 0; i < n; ++i) {
+      layernorm_inplace(ws.h.data() + i * Cz, blk.ln1_g.data(),
+                        blk.ln1_b.data(), C);
+    }
+    linear_batched(ws.h.data(), blk.wq.data(), blk.bq.data(), ws.q.data(), n,
+                   C, C);
+    linear_batched(ws.h.data(), blk.wk.data(), blk.bk.data(), ws.kv.data(), n,
+                   C, C);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int s = slots[i];
+      float* dst = cache.k[l].data() +
+                   static_cast<std::size_t>(s) *
+                       static_cast<std::size_t>(cache.slot_stride) +
+                   static_cast<std::size_t>(cache.len[static_cast<std::size_t>(s)]) * Cz;
+      std::copy_n(ws.kv.data() + i * Cz, Cz, dst);
+    }
+    linear_batched(ws.h.data(), blk.wv.data(), blk.bv.data(), ws.kv.data(), n,
+                   C, C);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int s = slots[i];
+      float* dst = cache.v[l].data() +
+                   static_cast<std::size_t>(s) *
+                       static_cast<std::size_t>(cache.slot_stride) +
+                   static_cast<std::size_t>(cache.len[static_cast<std::size_t>(s)]) * Cz;
+      std::copy_n(ws.kv.data() + i * Cz, Cz, dst);
+    }
+
+    // Attention stays per slot: lengths differ under continuous batching.
+    for (std::size_t i = 0; i < n; ++i) {
+      const int s = slots[i];
+      const std::size_t base = static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(cache.slot_stride);
+      attend_row(ws.q.data() + i * Cz, cache.k[l].data() + base,
+                 cache.v[l].data() + base,
+                 cache.len[static_cast<std::size_t>(s)] + 1, C, H, hd,
+                 ws.ctx.data() + i * Cz, ws.scores);
+    }
+    linear_batched(ws.ctx.data(), blk.wo.data(), blk.bo.data(), ws.att.data(),
+                   n, C, C);
+    for (std::size_t i = 0; i < n * Cz; ++i) ws.x[i] += ws.att[i];
+
+    // MLP, fused across rows.
+    ws.h = ws.x;
+    for (std::size_t i = 0; i < n; ++i) {
+      layernorm_inplace(ws.h.data() + i * Cz, blk.ln2_g.data(),
+                        blk.ln2_b.data(), C);
+    }
+    linear_batched(ws.h.data(), blk.w1.data(), blk.b1.data(), ws.ff.data(), n,
+                   C, cfg_.d_ff);
+    for (auto& f : ws.ff) f = gelu_scalar(f);
+    linear_batched(ws.ff.data(), blk.w2.data(), blk.b2.data(), ws.att.data(),
+                   n, cfg_.d_ff, C);
+    for (std::size_t i = 0; i < n * Cz; ++i) ws.x[i] += ws.att[i];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    layernorm_inplace(ws.x.data() + i * Cz, lnf_g_.data(), lnf_b_.data(), C);
+  }
+  logits.resize(n * static_cast<std::size_t>(cfg_.vocab));
+  linear_batched(ws.x.data(), lm_head_.data(), {}, logits.data(), n, C,
+                 cfg_.vocab);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++cache.len[static_cast<std::size_t>(slots[i])];
+  }
 }
 
 }  // namespace eva::nn

@@ -3,13 +3,18 @@
 // GPT-style pre-norm architecture: token + learned positional embeddings,
 // N blocks of (layernorm -> causal multi-head self-attention -> residual,
 // layernorm -> GELU MLP -> residual), final layernorm, linear vocabulary
-// head. Two execution paths:
+// head. Three execution paths:
 //
 //  * training path — builds the autograd graph (tensor engine), used by
 //    pretraining, the reward model, PPO and DPO;
-//  * inference path — plain float math with a per-sequence KV cache, used
-//    by generation (sampling thousands of topologies for the metrics) and
-//    PPO rollouts. O(d^2 + t*d) per generated token.
+//  * reference inference path — plain float math with a per-sequence KV
+//    cache (one gemv per linear per token). O(d^2 + t*d) per token.
+//  * batched inference path — B in-flight sequences share one forward
+//    per decode step: every linear becomes a single (B,in)x(in,out)
+//    gemm_nn call, so the weight matrices stream from memory once per
+//    step instead of once per sequence. Attention stays per-slot (each
+//    slot has its own cache length). This is the engine behind
+//    nn::BatchedDecoder (DESIGN.md "Batched KV-cache decoding").
 #pragma once
 
 #include <vector>
@@ -58,6 +63,47 @@ class TransformerLM {
   /// Feed one token; returns logits over the vocabulary for the next
   /// position. Deterministic, no-grad, thread-safe for concurrent caches.
   void infer_step(Cache& cache, int token, std::vector<float>& logits) const;
+
+  // --- Batched KV-cache inference ----------------------------------------
+  /// Fixed pool of `capacity` cache slots. Per layer, keys/values live in
+  /// one contiguous (capacity, max_seq, d_model) slab; slot s's cached
+  /// position t starts at (s * max_seq + t) * d_model, head-major within
+  /// the position — the same per-position layout as Cache, so the
+  /// attention inner loops are shared between the two paths. Slots are
+  /// recycled by resetting their length (continuous batching).
+  struct BatchedCache {
+    int capacity = 0;
+    int slot_stride = 0;                   // max_seq * d_model
+    std::vector<std::vector<float>> k, v;  // per layer: capacity*slot_stride
+    std::vector<int> len;                  // cached positions per slot
+
+    /// Recycle a slot for a fresh sequence (keeps the allocation).
+    void reset_slot(int s) { len[static_cast<std::size_t>(s)] = 0; }
+
+    // Step workspace, reused across infer_step_batched calls.
+    struct Workspace {
+      std::vector<float> x, h, q, kv, ctx, att, ff, scores;
+    };
+    Workspace ws;
+  };
+
+  [[nodiscard]] BatchedCache make_batched_cache(int capacity) const;
+
+  /// One decode step for n = slots.size() in-flight sequences: row i
+  /// feeds `tokens[i]` to cache slot `slots[i]` (at that slot's next
+  /// position) and receives next-token logits in `logits[i*vocab ..)`.
+  /// Slots must be distinct; n <= capacity.
+  ///
+  /// Numerics: each row's result is independent of which other slots are
+  /// stepped alongside it (per-row reduction order in gemm_nn is fixed by
+  /// the shapes alone), which is what makes BatchedDecoder's output
+  /// invariant to batch width. It also matches infer_step bitwise
+  /// whenever every linear's K dimension fits a single gemm K-panel
+  /// (K <= 256: all shipped configs except paper_scale, which drifts
+  /// within float tolerance only).
+  void infer_step_batched(BatchedCache& cache, const std::vector<int>& slots,
+                          const std::vector<int>& tokens,
+                          std::vector<float>& logits) const;
 
   /// Copy all parameter values from another model of identical config
   /// (snapshotting the reference model for PPO/DPO).

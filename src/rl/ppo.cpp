@@ -12,6 +12,18 @@ namespace eva::rl {
 
 using namespace eva::tensor;
 
+namespace {
+
+nn::SampleOptions rollout_options(const PpoConfig& cfg) {
+  nn::SampleOptions opts;
+  opts.temperature = cfg.temperature;
+  opts.max_len = cfg.max_len;
+  opts.batch_width = cfg.batch_width;
+  return opts;
+}
+
+}  // namespace
+
 PpoTrainer::PpoTrainer(nn::TransformerLM& policy, const nn::Tokenizer& tok,
                        const RewardModel& reward_model, PpoConfig cfg,
                        Rng& rng)
@@ -20,7 +32,9 @@ PpoTrainer::PpoTrainer(nn::TransformerLM& policy, const nn::Tokenizer& tok,
       tok_(&tok),
       rm_(&reward_model),
       cfg_(cfg),
-      rng_(cfg.seed) {
+      rng_(cfg.seed),
+      decoder_(policy, tok, std::max(1, cfg.batch_width),
+               rollout_options(cfg)) {
   ref_.load_from(policy);  // frozen snapshot: pi_theta_ref
   value_w_ = Tensor::randn({policy.config().d_model, 1}, rng, 0.02f, true);
   value_b_ = Tensor::zeros({1}, true);
@@ -32,11 +46,10 @@ void PpoTrainer::collect_rollouts(std::vector<Rollout>& out) {
   obs::Span span("ppo.collect_rollouts");
 
   out.clear();
-  nn::SampleOptions opts;
-  opts.temperature = cfg_.temperature;
-  opts.max_len = cfg_.max_len;
-  const auto samples =
-      nn::sample_batch(*policy_, *tok_, rng_, cfg_.rollouts, opts);
+  // One batched forward per decode step across all D rollouts (the
+  // continuous-batching engine); the decoder's KV slab is reused across
+  // epochs.
+  const auto samples = decoder_.decode(rng_, cfg_.rollouts);
 
   // Validity here = "decodes to a netlist at all"; the reward model grades
   // everything beyond that.
@@ -59,6 +72,12 @@ void PpoTrainer::collect_rollouts(std::vector<Rollout>& out) {
     if (r.n_actions < 1) continue;
     r.seq_reward = rm_->reward(s.ids);
 
+    // NOTE: s.logprobs (one entry per action, EOS included — the
+    // SampleResult invariant) are probabilities under the *sampling*
+    // distribution (temperature / top-k / legality mask), so they cannot
+    // serve as pi_old in the PPO ratio. The teacher-forced passes below
+    // recompute the unmasked model log-probs for the same action
+    // sequence; s.logprobs only pins down which actions were taken.
     // Teacher-forced passes for old log-probs, reference log-probs and
     // value estimates. (Values come from the policy's value head.)
     const int K = r.n_actions;
@@ -228,10 +247,7 @@ PpoStats PpoTrainer::train(const std::function<void(int, double)>& on_epoch) {
 }
 
 double PpoTrainer::evaluate_mean_reward(int n) {
-  nn::SampleOptions opts;
-  opts.temperature = cfg_.temperature;
-  opts.max_len = cfg_.max_len;
-  const auto samples = nn::sample_batch(*policy_, *tok_, rng_, n, opts);
+  const auto samples = decoder_.decode(rng_, n);
   double total = 0;
   for (const auto& s : samples) total += rm_->reward(s.ids);
   return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());

@@ -34,6 +34,10 @@ struct PpoConfig {
   float clip_grad = 1.0f;
   int max_len = 0;           // rollout length cap (0 = model max)
   float temperature = 1.0f;
+  /// Slot count of the rollout BatchedDecoder (throughput only; rollout
+  /// contents are width-invariant, see DESIGN.md "Batched KV-cache
+  /// decoding").
+  int batch_width = 8;
   std::uint64_t seed = 99;
 };
 
@@ -81,6 +85,7 @@ class PpoTrainer {
   tensor::Tensor value_b_;  // (1)
   PpoConfig cfg_;
   Rng rng_;
+  nn::BatchedDecoder decoder_;  // rollout engine; KV slab reused per epoch
 };
 
 }  // namespace eva::rl

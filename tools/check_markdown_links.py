@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Check that documentation cross-references point at real files.
+
+Two classes of reference are verified, in the given markdown files:
+
+  1. Relative markdown links: ``[text](path)`` and ``[text](path#anchor)``.
+     http(s)/mailto links are skipped; everything else must resolve to an
+     existing file or directory relative to the markdown file's location.
+
+  2. Backticked repo paths: `` `src/nn/sampler.cpp` `` and friends.  A
+     backticked span counts as a path claim when it starts with a known
+     top-level directory (src/, tests/, bench/, examples/, tools/, .github/)
+     or is a top-level *.md file.  Trailing ``:123`` line suffixes are
+     stripped, and ``{a,b}`` brace groups are expanded (every expansion must
+     exist).  Spans containing spaces, ``*`` globs or ``<...>`` placeholders
+     are ignored.
+
+Exit status is non-zero if any reference is broken — CI runs this over
+README.md, DESIGN.md, EXPERIMENTS.md and ROADMAP.md.
+"""
+
+import itertools
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Backticked spans are only treated as path claims under these roots.
+PATH_PREFIXES = ("src/", "tests/", "bench/", "examples/", "tools/", ".github/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def expand_braces(text: str) -> list[str]:
+    """Expand one level of {a,b,c} groups (nested groups unsupported)."""
+    m = re.search(r"\{([^{}]*)\}", text)
+    if not m:
+        return [text]
+    head, tail = text[: m.start()], text[m.end():]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_braces(head + alt + tail))
+    return out
+
+
+def non_fenced_lines(text: str):
+    """Yield (lineno, line) for lines outside ``` fenced blocks."""
+    fenced = False
+    for i, line in enumerate(text.splitlines(), start=1):
+        if CODE_FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield i, line
+
+
+def check_file(md_path: Path) -> list[str]:
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+
+    # 1. Relative markdown links (checked in all lines; links don't appear
+    #    inside code fences in practice, but fenced lines are skipped anyway
+    #    to avoid matching example snippets).
+    for lineno, line in non_fenced_lines(text):
+        for target in MD_LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md_path}:{lineno}: broken link target '{target}'")
+
+        # 2. Backticked repo paths.
+        for span in BACKTICK.findall(line):
+            if " " in span or "*" in span or "<" in span or "$" in span:
+                continue
+            if "..." in span:  # `src/...`-style placeholders
+                continue
+            candidate = span.strip()
+            is_top_md = re.fullmatch(r"[A-Za-z0-9_.-]+\.md", candidate)
+            if not (candidate.startswith(PATH_PREFIXES) or is_top_md):
+                continue
+            candidate = re.sub(r":\d+(-\d+)?$", "", candidate)  # :line refs
+            for expansion in expand_braces(candidate):
+                if not (REPO_ROOT / expansion).exists():
+                    errors.append(
+                        f"{md_path}:{lineno}: backticked path "
+                        f"'{span}' -> '{expansion}' does not exist")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] or sorted(REPO_ROOT.glob("*.md"))
+    all_errors = list(
+        itertools.chain.from_iterable(check_file(f) for f in files))
+    for err in all_errors:
+        print(err)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
