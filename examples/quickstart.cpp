@@ -7,11 +7,19 @@
 //
 // Build:  cmake --build build --target quickstart
 // Run:    ./build/examples/quickstart
+//
+// Crash safety: set EVA_CHECKPOINT_DIR to snapshot pretraining at
+// EVA_CHECKPOINT_EVERY steps; Ctrl-C then finishes the current step,
+// writes a final snapshot, and exits cleanly. Re-running with
+// EVA_RESUME=1 continues bit-for-bit from the newest valid snapshot.
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/eva.hpp"
 #include "obs/obs.hpp"
 #include "spice/engine.hpp"
+#include "train/signal.hpp"
 #include "util/io.hpp"
 
 int main() {
@@ -21,6 +29,16 @@ int main() {
   cfg.dataset.per_type = 15;           // small corpus for a fast demo
   cfg.pretrain.steps = 250;
   cfg.model = nn::ModelConfig::bench_scale(0);
+
+  if (const char* dir = std::getenv("EVA_CHECKPOINT_DIR")) {
+    cfg.pretrain.checkpoint_dir = dir;
+    if (const char* every = std::getenv("EVA_CHECKPOINT_EVERY")) {
+      cfg.pretrain.checkpoint_every = std::max(1, std::atoi(every));
+    }
+    const char* resume = std::getenv("EVA_RESUME");
+    cfg.pretrain.resume = resume && std::string(resume) != "0";
+    train::install_signal_handlers();  // SIGINT/SIGTERM -> clean stop
+  }
 
   std::cout << "=== EVA quickstart ===\n";
   core::Eva engine(cfg);
@@ -35,9 +53,22 @@ int main() {
   // stdout keeps the headline numbers the docs quote.
   obs::log_info("quickstart.pretraining", {{"steps", cfg.pretrain.steps}});
   const auto result = engine.pretrain();
-  std::cout << "loss " << eva::fmt(result.losses.front(), 3) << " -> "
-            << eva::fmt(result.losses.back(), 3) << " (val "
-            << eva::fmt(result.final_val_loss, 3) << ")\n";
+  if (result.start_step > 0) {
+    std::cout << "resumed from checkpoint at step " << result.start_step
+              << "\n";
+  }
+  if (result.interrupted) {
+    std::cout << "interrupted at step "
+              << result.start_step + static_cast<int>(result.losses.size())
+              << "; checkpoint written, rerun with EVA_RESUME=1\n";
+    obs::flush();
+    return 0;
+  }
+  if (!result.losses.empty()) {
+    std::cout << "loss " << eva::fmt(result.losses.front(), 3) << " -> "
+              << eva::fmt(result.losses.back(), 3) << " (val "
+              << eva::fmt(result.final_val_loss, 3) << ")\n";
+  }
 
   obs::log_info("quickstart.generating", {{"n", 20}});
   const auto attempts = engine.generate(20);

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "circuit/pingraph.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "train/checkpoint.hpp"
+#include "train/signal.hpp"
+#include "util/fault.hpp"
 
 namespace eva::nn {
 
@@ -87,6 +93,39 @@ double eval_lm_loss(const TransformerLM& model,
   return total / static_cast<double>(count);
 }
 
+namespace {
+
+// The LR schedule is a pure function of the step index, so a resumed run
+// recomputes exactly the schedule the original run would have applied.
+float schedule_lr(const PretrainConfig& cfg, int step) {
+  if (step < cfg.warmup) {
+    return cfg.lr * static_cast<float>(step + 1) /
+           static_cast<float>(cfg.warmup);
+  }
+  if (cfg.steps > cfg.warmup) {
+    const float t = static_cast<float>(step - cfg.warmup) /
+                    static_cast<float>(cfg.steps - cfg.warmup);
+    const float floor_lr = cfg.lr * cfg.lr_min_frac;
+    return floor_lr + 0.5f * (cfg.lr - floor_lr) *
+                          (1.0f + std::cos(3.14159265f * t));
+  }
+  return cfg.lr;
+}
+
+std::uint64_t pretrain_fingerprint(const TransformerLM& model,
+                                   const PretrainConfig& cfg) {
+  const auto& mc = model.config();
+  train::Fingerprint fp;
+  fp.mix(mc.vocab).mix(mc.d_model).mix(mc.n_layers).mix(mc.n_heads)
+      .mix(mc.d_ff).mix(mc.max_seq).mix(mc.dropout);
+  fp.mix(cfg.steps).mix(cfg.batch).mix(cfg.lr).mix(cfg.lr_min_frac)
+      .mix(cfg.warmup).mix(cfg.clip).mix(cfg.weight_decay)
+      .mix(cfg.seed);
+  return fp.value();
+}
+
+}  // namespace
+
 PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
                         const PretrainConfig& cfg,
                         const std::function<void(int, double)>& on_step) {
@@ -103,22 +142,38 @@ PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
   auto window_t0 = std::chrono::steady_clock::now();
   std::int64_t window_tokens = 0;
 
+  train::TrainState ts;
+  ts.params = params;
+  ts.opt = &opt;
+  ts.rng = &rng;
+
+  std::unique_ptr<train::CheckpointManager> ckpt;
+  if (!cfg.checkpoint_dir.empty()) {
+    ckpt = std::make_unique<train::CheckpointManager>(train::CheckpointOptions{
+        cfg.checkpoint_dir, cfg.keep_checkpoints,
+        pretrain_fingerprint(model, cfg)});
+  }
+
   PretrainResult result;
-  result.losses.reserve(static_cast<std::size_t>(cfg.steps));
-  for (int step = 0; step < cfg.steps; ++step) {
-    obs::Span step_span("pretrain.step");
-    // LR schedule: linear warmup then cosine decay to lr_min_frac * lr.
-    float lr = cfg.lr;
-    if (step < cfg.warmup) {
-      lr = cfg.lr * static_cast<float>(step + 1) /
-           static_cast<float>(cfg.warmup);
-    } else if (cfg.steps > cfg.warmup) {
-      const float t = static_cast<float>(step - cfg.warmup) /
-                      static_cast<float>(cfg.steps - cfg.warmup);
-      const float floor_lr = cfg.lr * cfg.lr_min_frac;
-      lr = floor_lr + 0.5f * (cfg.lr - floor_lr) *
-                          (1.0f + std::cos(3.14159265f * t));
+  if (ckpt && cfg.resume) {
+    if (auto restored = ckpt->load_latest(ts)) {
+      result.start_step = static_cast<int>(*restored);
     }
+  }
+
+  train::DivergenceSentinel sentinel(cfg.sentinel);
+  train::RollbackSlot last_good;
+  int rollbacks_left = 5;  // give up instead of thrashing forever
+
+  ts.step = result.start_step;
+  last_good.capture(ts, 0);
+
+  result.losses.reserve(static_cast<std::size_t>(cfg.steps));
+  for (int step = result.start_step; step < cfg.steps; ++step) {
+    obs::Span step_span("pretrain.step");
+    // LR schedule: linear warmup then cosine decay to lr_min_frac * lr,
+    // scaled down while the divergence sentinel is backing off.
+    const float lr = schedule_lr(cfg, step) * sentinel.lr_scale();
     opt.set_lr(lr);
 
     std::vector<const std::vector<int>*> ptrs;
@@ -134,8 +189,33 @@ PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
         model.forward(b.inputs, b.batch, b.seq_len, true, &drop_rng);
     Tensor loss = cross_entropy(logits, b.targets, -1);
     loss.backward();
+    if (fault::enabled() && fault::should_fire("nan_grad")) {
+      params[0].grad()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
     const double grad_norm = clip_grad_norm(params, cfg.clip);
+
+    switch (sentinel.observe(loss.item(), grad_norm)) {
+      case train::SentinelAction::kRollback:
+        if (last_good.armed() && rollbacks_left > 0) {
+          --rollbacks_left;
+          const long back = last_good.restore(ts);
+          result.losses.resize(last_good.progress_size());
+          sentinel.notify_rollback();
+          step = static_cast<int>(back) - 1;  // ++ resumes at `back`
+          continue;
+        }
+        obs::log_error("pretrain.diverged",
+                       {{"step", step}, {"loss", loss.item()}});
+        result.interrupted = true;
+        step = cfg.steps;  // abort the run
+        continue;
+      case train::SentinelAction::kSkip:
+        continue;  // drop the batch; no optimizer step
+      case train::SentinelAction::kProceed:
+        break;
+    }
     opt.step();
+    ts.step = step + 1;
 
     const std::int64_t step_tokens =
         static_cast<std::int64_t>(b.batch) * b.seq_len;
@@ -164,10 +244,32 @@ PretrainResult pretrain(TransformerLM& model, const SequenceCorpus& corpus,
       window_t0 = now;
       window_tokens = 0;
     }
+
+    const bool stopping = train::stop_requested();
+    const bool at_cadence =
+        cfg.checkpoint_every > 0 && ts.step % cfg.checkpoint_every == 0;
+    if (at_cadence || stopping || ts.step == static_cast<long>(cfg.steps)) {
+      if (ckpt) {
+        try {
+          ckpt->save(ts);
+        } catch (const Error& e) {
+          obs::log_error("pretrain.ckpt_failed", {{"error", e.what()}});
+        }
+      }
+      last_good.capture(ts, result.losses.size());
+    }
+    if (stopping) {
+      obs::log_info("pretrain.interrupted", {{"step", ts.step}});
+      result.interrupted = true;
+      break;
+    }
   }
-  result.final_val_loss = eval_lm_loss(model, corpus.val, cfg.batch);
-  obs::log_info("pretrain.done",
-                {{"steps", cfg.steps}, {"val_loss", result.final_val_loss}});
+  if (!result.interrupted) {
+    result.final_val_loss = eval_lm_loss(model, corpus.val, cfg.batch);
+    obs::log_info("pretrain.done",
+                  {{"steps", cfg.steps}, {"val_loss", result.final_val_loss}});
+  }
+  obs::flush();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "nn/tokenizer.hpp"
 #include "nn/transformer.hpp"
 #include "tensor/optim.hpp"
+#include "train/sentinel.hpp"
 
 namespace eva::nn {
 
@@ -42,11 +43,22 @@ struct PretrainConfig {
   float weight_decay = 0.01f;
   std::uint64_t seed = 1234;
   int log_every = 25;
+
+  // Fault tolerance (train/): empty checkpoint_dir disables snapshots.
+  // With resume=true the newest valid snapshot is restored and the run
+  // continues bit-compatibly (RNG + optimizer state, LR re-aligned).
+  std::string checkpoint_dir;
+  int checkpoint_every = 50;   // steps between snapshots
+  int keep_checkpoints = 3;
+  bool resume = false;
+  train::SentinelConfig sentinel;
 };
 
 struct PretrainResult {
-  std::vector<double> losses;      // per-step training loss
+  std::vector<double> losses;      // per-step training loss (this run only)
   double final_val_loss = 0.0;
+  int start_step = 0;              // > 0 when resumed from a checkpoint
+  bool interrupted = false;        // stopped early via SIGINT/SIGTERM
 };
 
 /// Mean next-token cross-entropy of the model on a sequence set.

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/json.hpp"
+#include "util/io.hpp"
 #include "util/stats.hpp"
 
 namespace eva::obs {
@@ -175,12 +176,8 @@ std::string metrics_to_json() {
 }
 
 bool write_metrics(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  const std::string json = metrics_to_json();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  std::fclose(f);
-  return ok;
+  // Temp + rename so a crash mid-export never leaves half-written JSON.
+  return atomic_write_file(path, metrics_to_json());
 }
 
 bool write_metrics_if_configured() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/io.hpp"
 
 namespace eva::obs {
 
@@ -138,12 +139,8 @@ std::string trace_to_json() {
 }
 
 bool write_trace(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  const std::string json = trace_to_json();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  std::fclose(f);
-  return ok;
+  // Temp + rename so a crash mid-export never leaves half-written JSON.
+  return atomic_write_file(path, trace_to_json());
 }
 
 bool write_trace_if_configured() {

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "tensor/optim.hpp"
+#include "train/checkpoint.hpp"
+#include "train/signal.hpp"
+#include "util/fault.hpp"
 
 namespace eva::rl {
 
@@ -82,8 +88,40 @@ DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
   static obs::Counter& steps_c = obs::counter("dpo.steps");
   static obs::Histogram& loss_h = obs::histogram("dpo.loss");
 
+  // Snapshots also carry the frozen reference model: on resume the policy
+  // has already moved, so the reference cannot be re-derived from it.
+  train::TrainState ts;
+  ts.params = params;
+  for (const auto& p : ref_.parameters()) ts.params.push_back(p);
+  ts.opt = &opt;
+  ts.rng = &rng;
+
+  std::unique_ptr<train::CheckpointManager> ckpt;
+  if (!cfg_.checkpoint_dir.empty()) {
+    const auto& mc = policy_->config();
+    train::Fingerprint fp;
+    fp.mix(mc.vocab).mix(mc.d_model).mix(mc.n_layers).mix(mc.n_heads)
+        .mix(mc.d_ff).mix(mc.max_seq);
+    fp.mix(cfg_.steps).mix(cfg_.pairs_per_step).mix(cfg_.beta).mix(cfg_.lr)
+        .mix(cfg_.clip_grad).mix(cfg_.seed);
+    ckpt = std::make_unique<train::CheckpointManager>(train::CheckpointOptions{
+        cfg_.checkpoint_dir, cfg_.keep_checkpoints, fp.value()});
+  }
+
   DpoStats stats;
-  for (int step = 0; step < cfg_.steps; ++step) {
+  if (ckpt && cfg_.resume) {
+    if (auto restored = ckpt->load_latest(ts)) {
+      stats.start_step = static_cast<int>(*restored);
+    }
+  }
+
+  train::DivergenceSentinel sentinel(cfg_.sentinel);
+  train::RollbackSlot last_good;
+  int rollbacks_left = 5;  // give up instead of thrashing forever
+  ts.step = stats.start_step;
+  last_good.capture(ts, 0);
+
+  for (int step = stats.start_step; step < cfg_.steps; ++step) {
     obs::Span step_span("dpo.step");
     opt.zero_grad();
     Tensor loss_sum;
@@ -105,8 +143,39 @@ DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
     Tensor loss =
         mul_scalar(loss_sum, 1.0f / static_cast<float>(cfg_.pairs_per_step));
     loss.backward();
-    clip_grad_norm(params, cfg_.clip_grad);
+    if (fault::enabled() && fault::should_fire("nan_grad")) {
+      params[0].grad()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    const double grad_norm = clip_grad_norm(params, cfg_.clip_grad);
+
+    switch (sentinel.observe(loss.item(), grad_norm)) {
+      case train::SentinelAction::kRollback:
+        if (last_good.armed() && rollbacks_left > 0) {
+          --rollbacks_left;
+          const long back = last_good.restore(ts);
+          stats.loss.resize(last_good.progress_size());
+          stats.reward_acc.resize(last_good.progress_size());
+          if (!probe_win.empty()) {
+            stats.logp_win.resize(last_good.progress_size());
+            stats.logp_lose.resize(last_good.progress_size());
+          }
+          sentinel.notify_rollback();
+          step = static_cast<int>(back) - 1;  // ++ resumes at `back`
+          continue;
+        }
+        obs::log_error("dpo.diverged",
+                       {{"step", step}, {"loss", loss.item()}});
+        stats.interrupted = true;
+        step = cfg_.steps;  // abort the run
+        continue;
+      case train::SentinelAction::kSkip:
+        continue;  // drop the batch; no optimizer step
+      case train::SentinelAction::kProceed:
+        break;
+    }
+    opt.set_lr(cfg_.lr * sentinel.lr_scale());
     opt.step();
+    ts.step = step + 1;
 
     stats.loss.push_back(loss.item());
     stats.reward_acc.push_back(acc / cfg_.pairs_per_step);
@@ -125,7 +194,27 @@ DpoStats DpoTrainer::train(const std::vector<PreferencePair>& pairs,
                                  {"loss", stats.loss.back()},
                                  {"reward_acc", stats.reward_acc.back()}});
     }
+
+    const bool stopping = train::stop_requested();
+    const bool at_cadence =
+        cfg_.checkpoint_every > 0 && ts.step % cfg_.checkpoint_every == 0;
+    if (at_cadence || stopping || ts.step == static_cast<long>(cfg_.steps)) {
+      if (ckpt) {
+        try {
+          ckpt->save(ts);
+        } catch (const Error& e) {
+          obs::log_error("dpo.ckpt_failed", {{"error", e.what()}});
+        }
+      }
+      last_good.capture(ts, stats.loss.size());
+    }
+    if (stopping) {
+      obs::log_info("dpo.interrupted", {{"step", ts.step}});
+      stats.interrupted = true;
+      break;
+    }
   }
+  obs::flush();
   return stats;
 }
 

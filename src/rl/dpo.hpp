@@ -16,6 +16,7 @@
 #include "nn/tokenizer.hpp"
 #include "nn/transformer.hpp"
 #include "rl/reward_model.hpp"
+#include "train/sentinel.hpp"
 
 namespace eva::rl {
 
@@ -30,6 +31,15 @@ struct DpoConfig {
   /// win/lose sequences at every step (the Fig. 4 degeneration curves).
   /// 0 disables the (costly) probe.
   int logprob_probe = 0;
+
+  // Fault tolerance (train/): empty checkpoint_dir disables snapshots.
+  // Snapshots cover policy + reference + optimizer + RNG at step
+  // granularity.
+  std::string checkpoint_dir;
+  int checkpoint_every = 20;   // steps between snapshots
+  int keep_checkpoints = 3;
+  bool resume = false;
+  train::SentinelConfig sentinel;
 };
 
 struct DpoStats {
@@ -37,6 +47,8 @@ struct DpoStats {
   std::vector<double> reward_acc;   // per-step implicit-reward accuracy
   std::vector<double> logp_win;     // probe mean log pi(y_w) (Fig. 4)
   std::vector<double> logp_lose;    // probe mean log pi(y_l) (Fig. 4)
+  int start_step = 0;               // > 0 when resumed from a checkpoint
+  bool interrupted = false;         // stopped early via SIGINT/SIGTERM
 };
 
 /// A preference pair of token sequences (without EOS).

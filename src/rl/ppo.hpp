@@ -17,6 +17,7 @@
 #include "nn/tokenizer.hpp"
 #include "nn/transformer.hpp"
 #include "rl/reward_model.hpp"
+#include "train/sentinel.hpp"
 
 namespace eva::rl {
 
@@ -39,6 +40,15 @@ struct PpoConfig {
   /// decoding").
   int batch_width = 8;
   std::uint64_t seed = 99;
+
+  // Fault tolerance (train/): empty checkpoint_dir disables snapshots.
+  // Snapshots cover policy + value head + optimizer + RNG + the frozen
+  // reference model, at epoch granularity.
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;    // epochs between snapshots
+  int keep_checkpoints = 3;
+  bool resume = false;
+  train::SentinelConfig sentinel;
 };
 
 struct PpoStats {
@@ -46,6 +56,8 @@ struct PpoStats {
   std::vector<double> policy_loss;   // per-update L_policy
   std::vector<double> value_loss;    // per-update L_value
   std::vector<double> total_loss;    // per-update L_PPO
+  int start_epoch = 0;               // > 0 when resumed from a checkpoint
+  bool interrupted = false;          // stopped early via SIGINT/SIGTERM
 };
 
 class PpoTrainer {

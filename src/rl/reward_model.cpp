@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "circuit/pingraph.hpp"
 #include "circuit/validity.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "spice/engine.hpp"
 #include "spice/fom.hpp"
 #include "tensor/optim.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 
 namespace eva::rl {
@@ -160,7 +164,18 @@ double RewardModel::reward(const std::vector<int>& ids) const {
   } catch (const Error&) {
     return rank_reward(RankClass::Invalid);
   }
-  return score(ids);
+  double s = score(ids);
+  if (fault::enabled() && fault::should_fire("reward_nan")) {
+    s = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!std::isfinite(s)) {
+    // A non-finite score must grade as an invalid circuit: one NaN reward
+    // otherwise poisons the whole epoch's advantage normalization.
+    obs::counter("rl.reward_nonfinite").add();
+    obs::log_every_n(obs::LogLevel::kWarn, "rl.reward_nonfinite", 64, {});
+    return rank_reward(RankClass::Invalid);
+  }
+  return s;
 }
 
 double RewardModel::accuracy(

@@ -1,12 +1,14 @@
 #include "spice/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "circuit/validity.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace eva::spice {
 
@@ -366,9 +368,22 @@ void Simulator::stamp_dc(DenseMatrix<double>& a, std::vector<double>& rhs,
   }
 }
 
+bool Simulator::dc_deadline_hit() {
+  if (!dc_deadline_armed_ ||
+      std::chrono::steady_clock::now() < dc_deadline_) {
+    return false;
+  }
+  dc_result_.deadline_exceeded = true;
+  return true;
+}
+
 bool Simulator::newton(double source_scale) {
   const auto total = static_cast<std::size_t>(num_nodes_ + num_vsrc_);
   for (int iter = 0; iter < opts_.max_newton_iter; ++iter) {
+    if (dc_deadline_hit()) {
+      ++dc_result_.failed_attempts;
+      return false;
+    }
     ++dc_result_.iterations;
     DenseMatrix<double> a(total);
     std::vector<double> rhs(total, 0.0);
@@ -403,16 +418,41 @@ bool Simulator::solve_dc() {
   dc_converged_ = false;
   dc_result_ = SolveResult{};
   solves.add();
+
+  if (fault::enabled() && fault::should_fire("spice_dc")) {
+    nonconverged.add();
+    obs::log_warn("spice.dc_fault_injected", {{"devices", nl_->num_devices()}});
+    return false;
+  }
+
+  dc_deadline_armed_ = opts_.dc_deadline_ms > 0.0;
+  if (dc_deadline_armed_) {
+    dc_deadline_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           opts_.dc_deadline_ms));
+  }
+  int attempts = 0;
+  auto attempt = [&](double scale) {
+    ++attempts;
+    if (attempts > opts_.max_dc_attempts) {
+      dc_result_.deadline_exceeded = true;
+      ++dc_result_.failed_attempts;
+      return false;
+    }
+    return newton(scale);
+  };
+
   std::fill(v_.begin(), v_.end(), 0.0);
-  if (newton(1.0)) {
+  if (attempt(1.0)) {
     dc_converged_ = true;
-  } else {
+  } else if (!dc_result_.deadline_exceeded) {
     // Source stepping: ramp supplies, reusing each solution as the guess.
     dc_result_.used_source_stepping = true;
     std::fill(v_.begin(), v_.end(), 0.0);
     dc_converged_ = true;
     for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
-      if (!newton(scale)) {
+      if (!attempt(scale)) {
         dc_converged_ = false;
         break;
       }
@@ -420,6 +460,15 @@ bool Simulator::solve_dc() {
   }
   dc_result_.converged = dc_converged_;
   iters_h.record(static_cast<double>(dc_result_.iterations));
+  if (dc_result_.deadline_exceeded) {
+    static obs::Counter& deadline_c =
+        obs::counter("spice.dc_deadline_exceeded");
+    deadline_c.add();
+    obs::log_every_n(obs::LogLevel::kWarn, "spice.dc_deadline_exceeded", 64,
+                     {{"devices", nl_->num_devices()},
+                      {"iterations", dc_result_.iterations},
+                      {"deadline_ms", opts_.dc_deadline_ms}});
+  }
   if (!dc_converged_) {
     // Previously this path returned without any signal; now every give-up
     // is counted and (rate-limited) logged with its attempt trail.

@@ -15,6 +15,7 @@
 // Newton uses voltage-step damping plus source stepping as fallback.
 #pragma once
 
+#include <chrono>
 #include <complex>
 #include <optional>
 #include <vector>
@@ -43,6 +44,14 @@ struct SimOptions {
   bool converter_mode = false;
   /// Phase for converter mode: true = CLK1 high / CLK2 low.
   bool phase_a = true;
+  /// Wall-clock budget for one solve_dc() across all Newton attempts,
+  /// including the source-stepping ramp (<= 0 disables the deadline).
+  /// Pathological topologies otherwise burn an unbounded slice of every
+  /// RL epoch in the reward path.
+  double dc_deadline_ms = 2000.0;
+  /// Hard cap on Newton attempts per solve_dc() (initial solve plus
+  /// source-stepping ramp stages).
+  int max_dc_attempts = 16;
 };
 
 /// One point of an AC transfer-function sweep.
@@ -61,6 +70,7 @@ struct SolveResult {
   int iterations = 0;           // NR iterations summed over all attempts
   int failed_attempts = 0;      // attempts that hit the cap or a singular LU
   bool used_source_stepping = false;
+  bool deadline_exceeded = false;  // gave up on the wall-clock/attempt caps
 };
 
 /// DC + AC simulation of one sized netlist.
@@ -114,11 +124,16 @@ class Simulator {
   };
 
   [[nodiscard]] bool newton(double source_scale);
+  /// True once the solve_dc() wall-clock deadline has passed (marks the
+  /// result; checked once per Newton iteration).
+  [[nodiscard]] bool dc_deadline_hit();
   void stamp_dc(DenseMatrix<double>& mat, std::vector<double>& rhs,
                 const std::vector<double>& v, double source_scale) const;
 
   const circuit::Netlist* nl_;
   SimOptions opts_;
+  std::chrono::steady_clock::time_point dc_deadline_{};
+  bool dc_deadline_armed_ = false;
   int num_nodes_ = 0;   // non-ground nets
   int num_vsrc_ = 0;
   std::vector<DeviceCtx> devs_;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "circuit/validity.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
 
 namespace eva::spice {
 
@@ -11,6 +15,28 @@ using circuit::CircuitType;
 using circuit::Netlist;
 
 namespace {
+
+/// Map any non-finite performance figure to a failed evaluation. A NaN or
+/// Inf FoM must read as "invalid circuit" downstream, never leak into the
+/// reward path (where it would poison advantage normalization and Otsu
+/// thresholding). Fault site `fom_nan` forces the case.
+Performance sanitize(Performance perf) {
+  if (perf.ok && fault::enabled() && fault::should_fire("fom_nan")) {
+    perf.fom = std::numeric_limits<double>::quiet_NaN();
+  }
+  const bool finite =
+      std::isfinite(perf.fom) && std::isfinite(perf.gain) &&
+      std::isfinite(perf.gain_db) && std::isfinite(perf.bw_hz) &&
+      std::isfinite(perf.ugbw_hz) && std::isfinite(perf.power_w) &&
+      std::isfinite(perf.ratio) && std::isfinite(perf.efficiency);
+  if (perf.ok && !finite) {
+    obs::counter("spice.fom_nonfinite").add();
+    obs::log_every_n(obs::LogLevel::kWarn, "spice.fom_nonfinite", 64,
+                     {{"fom", perf.fom}, {"gain", perf.gain}});
+    perf = Performance{};  // ok = false, all figures zeroed
+  }
+  return perf;
+}
 
 Performance eval_smallsignal(const Netlist& nl, const Sizing& sz,
                              const SimOptions& base) {
@@ -107,9 +133,9 @@ Performance evaluate(const Netlist& nl, const Sizing& sizing,
                      CircuitType type, const SimOptions& base) {
   if (!circuit::structurally_valid(nl)) return {};
   if (type == CircuitType::PowerConverter) {
-    return eval_converter(nl, sizing, base);
+    return sanitize(eval_converter(nl, sizing, base));
   }
-  return eval_smallsignal(nl, sizing, base);
+  return sanitize(eval_smallsignal(nl, sizing, base));
 }
 
 Performance evaluate_default(const Netlist& nl, CircuitType type) {

@@ -54,6 +54,22 @@ AdamW::AdamW(std::vector<Tensor> params, Config cfg)
   }
 }
 
+AdamW::State AdamW::export_state() const { return State{t_, m_, v_}; }
+
+void AdamW::import_state(const State& st) {
+  EVA_REQUIRE(st.m.size() == params_.size() && st.v.size() == params_.size(),
+              "AdamW state tensor count mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    EVA_REQUIRE(st.m[i].size() == params_[i].numel() &&
+                    st.v[i].size() == params_[i].numel(),
+                "AdamW state moment size mismatch");
+  }
+  EVA_REQUIRE(st.t >= 0, "AdamW state has negative step count");
+  t_ = st.t;
+  m_ = st.m;
+  v_ = st.v;
+}
+
 void AdamW::step() {
   ++t_;
   const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));

@@ -52,6 +52,19 @@ class AdamW {
   [[nodiscard]] float lr() const { return cfg_.lr; }
   [[nodiscard]] long steps_taken() const { return t_; }
 
+  /// Full optimizer state (step count + first/second moments), in the
+  /// parameter order given at construction. Checkpointing an AdamW run
+  /// without this would silently reset the moment estimates on resume.
+  struct State {
+    long t = 0;
+    std::vector<std::vector<float>> m;
+    std::vector<std::vector<float>> v;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restore state from export_state(). Throws eva::Error when the
+  /// moment buffer layout does not match this optimizer's parameters.
+  void import_state(const State& st);
+
  private:
   std::vector<Tensor> params_;
   std::vector<std::vector<float>> m_;

@@ -1,33 +1,53 @@
 #include "tensor/serialize.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "util/io.hpp"
 
 namespace eva::tensor {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x45564131;  // "EVA1"
+
+// Sanity bounds for untrusted header fields. A garbage or truncated file
+// can claim absurd ranks/dims/counts; rejecting them here turns a
+// would-be multi-gigabyte allocation (or a bogus loop) into a specific
+// error message.
+constexpr std::uint32_t kMaxTensors = 1u << 20;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::uint32_t kMaxDim = 1u << 28;
+
+template <class T>
+bool read_pod(std::istream& f, T& out) {
+  f.read(reinterpret_cast<char*>(&out), sizeof(T));
+  return f.gcount() == static_cast<std::streamsize>(sizeof(T));
 }
 
+}  // namespace
+
 void save_params(const std::vector<Tensor>& params, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw ConfigError("cannot open checkpoint for writing: " + path);
+  std::ostringstream buf;
   const std::uint32_t magic = kMagic;
   const auto count = static_cast<std::uint32_t>(params.size());
-  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  buf.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& p : params) {
     const auto rank = static_cast<std::uint32_t>(p.shape().size());
-    f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    buf.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
     for (int d : p.shape()) {
       const auto dd = static_cast<std::uint32_t>(d);
-      f.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+      buf.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
     }
     auto data = p.data();
-    f.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    buf.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
   }
-  if (!f) throw ConfigError("write failed for checkpoint: " + path);
+  if (!atomic_write_file(path, buf.str())) {
+    throw ConfigError("write failed for checkpoint: " + path);
+  }
 }
 
 void load_params(std::vector<Tensor>& params, const std::string& path) {
@@ -35,31 +55,62 @@ void load_params(std::vector<Tensor>& params, const std::string& path) {
   if (!f) throw ConfigError("cannot open checkpoint for reading: " + path);
   std::uint32_t magic = 0;
   std::uint32_t count = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!f || magic != kMagic) {
-    throw ConfigError("bad checkpoint header: " + path);
+  if (!read_pod(f, magic) || !read_pod(f, count)) {
+    throw ConfigError("checkpoint header truncated: " + path);
+  }
+  if (magic != kMagic) {
+    throw ConfigError("bad checkpoint magic (not an EVA1 parameter file): " +
+                      path);
+  }
+  if (count > kMaxTensors) {
+    throw ConfigError("implausible tensor count " + std::to_string(count) +
+                      " in checkpoint (corrupt header?): " + path);
   }
   if (count != params.size()) {
-    throw ConfigError("checkpoint parameter count mismatch: " + path);
+    throw ConfigError("checkpoint parameter count mismatch (file has " +
+                      std::to_string(count) + ", model expects " +
+                      std::to_string(params.size()) + "): " + path);
   }
-  for (auto& p : params) {
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& p = params[pi];
+    const std::string where =
+        " (tensor " + std::to_string(pi) + "): " + path;
     std::uint32_t rank = 0;
-    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    if (!f || rank != p.shape().size()) {
-      throw ConfigError("checkpoint rank mismatch: " + path);
+    if (!read_pod(f, rank)) {
+      throw ConfigError("checkpoint truncated in tensor header" + where);
+    }
+    if (rank > kMaxRank) {
+      throw ConfigError("implausible tensor rank " + std::to_string(rank) +
+                        where);
+    }
+    if (rank != p.shape().size()) {
+      throw ConfigError("checkpoint rank mismatch" + where);
     }
     for (int d : p.shape()) {
       std::uint32_t dd = 0;
-      f.read(reinterpret_cast<char*>(&dd), sizeof(dd));
-      if (!f || dd != static_cast<std::uint32_t>(d)) {
-        throw ConfigError("checkpoint shape mismatch: " + path);
+      if (!read_pod(f, dd)) {
+        throw ConfigError("checkpoint truncated in tensor shape" + where);
+      }
+      if (dd == 0 || dd > kMaxDim) {
+        throw ConfigError("implausible tensor dimension " +
+                          std::to_string(dd) + where);
+      }
+      if (dd != static_cast<std::uint32_t>(d)) {
+        throw ConfigError("checkpoint shape mismatch" + where);
       }
     }
     auto data = p.data();
-    f.read(reinterpret_cast<char*>(data.data()),
-           static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!f) throw ConfigError("checkpoint payload truncated: " + path);
+    const auto want =
+        static_cast<std::streamsize>(data.size() * sizeof(float));
+    f.read(reinterpret_cast<char*>(data.data()), want);
+    if (f.gcount() != want) {
+      throw ConfigError("checkpoint payload truncated (got " +
+                        std::to_string(f.gcount()) + " of " +
+                        std::to_string(want) + " bytes)" + where);
+    }
+  }
+  if (f.peek() != std::ifstream::traits_type::eof()) {
+    throw ConfigError("trailing garbage after checkpoint payload: " + path);
   }
 }
 

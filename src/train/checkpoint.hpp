@@ -1,0 +1,130 @@
+// Crash-safe training checkpoints: the versioned EVA2 snapshot format and
+// the CheckpointManager that writes / restores / retains them.
+//
+// A snapshot carries everything a trainer needs to continue bit-for-bit:
+// model parameters, AdamW optimizer moments + step count, RNG state, the
+// trainer step counter, and a config fingerprint that rejects resumes
+// against a different model/run configuration.
+//
+// On-disk format (little-endian, see checkpoint.cpp):
+//
+//   u32 magic "EVA2" | u32 version | u32 section_count
+//   per section: u32 tag | u64 payload_bytes | payload | u32 crc32(payload)
+//
+// Every write goes through the temp-file + fsync + atomic-rename helper
+// (util/io), then a `latest` manifest is updated the same way, and
+// snapshots beyond `keep_last` are pruned. Loading walks from the
+// manifest backwards through the retained files and returns the newest
+// snapshot whose checksums, shapes and fingerprint all validate — so a
+// torn or bit-flipped latest snapshot costs one checkpoint interval, not
+// the run. Fault sites: `ckpt_write` (injected write failure) and
+// `ckpt_bitflip` (corrupt one byte of the serialized snapshot).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/optim.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace eva::train {
+
+/// FNV-1a accumulator for config fingerprints. Trainers fold in every
+/// semantically relevant config field; a resumed run with a different
+/// fingerprint is rejected instead of silently diverging.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFFu;
+      h_ *= 0x100000001B3ULL;
+    }
+    return *this;
+  }
+  Fingerprint& mix(long v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fingerprint& mix(int v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fingerprint& mix(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+  }
+  Fingerprint& mix(float v) { return mix(static_cast<double>(v)); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+/// Everything one snapshot covers. `params` are aliases of the live
+/// training tensors (cheap shared handles); `opt` and `rng` are optional
+/// — sections are only written/required for the pieces supplied.
+struct TrainState {
+  std::vector<tensor::Tensor> params;
+  tensor::AdamW* opt = nullptr;
+  Rng* rng = nullptr;
+  long step = 0;  // completed steps (resume continues at `step`)
+};
+
+struct CheckpointOptions {
+  std::string dir;
+  int keep_last = 3;
+  std::uint64_t config_fingerprint = 0;
+};
+
+class CheckpointManager {
+ public:
+  /// Creates `opts.dir` (recursively) if needed.
+  explicit CheckpointManager(CheckpointOptions opts);
+
+  /// Serialize `state` to ckpt_<step>.eva2 (atomic), update the `latest`
+  /// manifest, and prune beyond keep_last. Throws eva::ConfigError on
+  /// I/O failure — callers treat that as non-fatal and keep training.
+  void save(const TrainState& state);
+
+  /// Restore the newest snapshot that validates end-to-end, falling
+  /// back across retained files when the latest is corrupt (counted in
+  /// `train.ckpt.fallbacks`). Returns the restored step count, or
+  /// nullopt when no usable snapshot exists.
+  std::optional<long> load_latest(TrainState& state) const;
+
+  /// Restore one specific snapshot file. Throws eva::ConfigError when it
+  /// fails validation (bad magic/CRC/fingerprint/shape mismatch).
+  long load_file(const std::string& path, TrainState& state) const;
+
+  /// Retained snapshot paths, newest step first.
+  [[nodiscard]] std::vector<std::string> list_snapshots() const;
+  [[nodiscard]] const std::string& dir() const { return opts_.dir; }
+
+ private:
+  void prune() const;
+
+  CheckpointOptions opts_;
+};
+
+/// Deep in-memory copy of a TrainState, for divergence-sentinel rollback
+/// without a round trip through disk. capture() snapshots the live
+/// state; restore() writes it back into the same tensors/optimizer/RNG.
+class RollbackSlot {
+ public:
+  void capture(const TrainState& state, std::size_t progress_size = 0);
+  /// Restore into `state` (same layout as captured). Returns the step
+  /// the snapshot was taken at.
+  long restore(TrainState& state) const;
+  [[nodiscard]] bool armed() const { return armed_; }
+  /// Size of the trainer's progress vector at capture time, so rollback
+  /// can truncate per-step histories consistently.
+  [[nodiscard]] std::size_t progress_size() const { return progress_size_; }
+
+ private:
+  bool armed_ = false;
+  std::vector<std::vector<float>> params_;
+  std::optional<tensor::AdamW::State> opt_;
+  std::optional<Rng::State> rng_;
+  long step_ = 0;
+  std::size_t progress_size_ = 0;
+};
+
+}  // namespace eva::train

@@ -1,0 +1,36 @@
+#include "train/signal.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace eva::train {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler needs a lock-free flag");
+
+extern "C" void eva_stop_handler(int) { g_stop.store(true); }
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = eva_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking calls promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool stop_requested() noexcept {
+  return g_stop.load(std::memory_order_relaxed);
+}
+
+void request_stop() noexcept { g_stop.store(true); }
+
+void clear_stop() noexcept { g_stop.store(false); }
+
+}  // namespace eva::train

@@ -1,0 +1,28 @@
+// Graceful SIGINT/SIGTERM shutdown for long training runs.
+//
+// The handler only sets an atomic flag; trainers poll stop_requested()
+// once per step, finish the step in flight, write a final checkpoint,
+// flush the obs sinks, and return with `interrupted = true` — so a
+// `kill` (or Ctrl-C) costs at most one step of work instead of the run.
+//
+// Tests drive the same path with request_stop()/clear_stop(), which is
+// also how a supervisor embedding the library can stop a trainer.
+#pragma once
+
+namespace eva::train {
+
+/// Install SIGINT + SIGTERM handlers that request a graceful stop.
+/// Idempotent; the previous handlers are replaced.
+void install_signal_handlers();
+
+/// True once a stop has been requested (signal or request_stop()).
+[[nodiscard]] bool stop_requested() noexcept;
+
+/// Programmatic stop request — what the signal handler calls.
+void request_stop() noexcept;
+
+/// Re-arm after a handled stop (tests; supervisors running several
+/// trainers in sequence).
+void clear_stop() noexcept;
+
+}  // namespace eva::train

@@ -1,5 +1,8 @@
 #include "util/io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +10,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace eva {
 
@@ -22,6 +26,42 @@ std::string csv_escape(const std::string& s) {
   return out;
 }
 }  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  if (fault::enabled() && fault::should_fire("io_write")) return false;
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      ok = false;
+    } else {
+      written += static_cast<std::size_t>(n);
+    }
+  }
+  // fsync before rename: the rename must never become visible ahead of
+  // the data it points at, or a crash could expose an empty file.
+  ok = ok && ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  ok = ok && ::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Best-effort directory fsync so the rename itself is durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
 
 CsvWriter::CsvWriter(std::vector<std::string> header)
     : header_(std::move(header)) {
@@ -56,9 +96,11 @@ void CsvWriter::write(std::ostream& os) const {
 }
 
 void CsvWriter::save(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) throw ConfigError("cannot open CSV output file: " + path);
-  write(f);
+  std::ostringstream buf;
+  write(buf);
+  if (!atomic_write_file(path, buf.str())) {
+    throw ConfigError("cannot write CSV output file: " + path);
+  }
 }
 
 ConsoleTable::ConsoleTable(std::string title, std::vector<std::string> columns)

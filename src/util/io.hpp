@@ -1,12 +1,22 @@
 // Output helpers used by benchmarks and examples: CSV writing for curves,
-// and fixed-width console tables that mirror the paper's table layout.
+// fixed-width console tables that mirror the paper's table layout, and the
+// crash-safe atomic file writer shared by every on-disk artifact (CSV
+// curves, obs JSON exports, EVA2 checkpoints).
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace eva {
+
+/// Write `contents` to `path` crash-safely: the bytes go to a sibling
+/// temp file which is fsync'd and then atomically renamed over `path`,
+/// so readers observe either the old file or the complete new one —
+/// never a half-written artifact. Returns false on any I/O failure (the
+/// destination is left untouched). Fault site: `io_write`.
+bool atomic_write_file(const std::string& path, std::string_view contents);
 
 /// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
 /// commas/quotes/newlines). Used to dump loss curves and sweep results.

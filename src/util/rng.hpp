@@ -37,6 +37,28 @@ class Rng {
   /// Derive an independent child stream (for per-thread / per-sample use).
   [[nodiscard]] Rng fork() { return Rng{next() ^ 0xA5A5A5A5DEADBEEFULL}; }
 
+  /// Complete generator state — the 256-bit xoshiro state plus the cached
+  /// Box–Muller half — so checkpointed training runs resume bit-for-bit.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+
+  [[nodiscard]] State save_state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+
+  void restore_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
+  }
+
   std::uint64_t next() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
