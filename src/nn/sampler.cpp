@@ -674,16 +674,48 @@ std::vector<SampleResult> sample_batch_reference(const TransformerLM& model,
   return out;
 }
 
+NetlistDecode ids_to_netlist_checked(const Tokenizer& tok,
+                                     const std::vector<int>& ids) {
+  NetlistDecode out;
+  // Bounds-check every id BEFORE any decode-table lookup: wire-protocol
+  // and checkpoint inputs are untrusted, and tok.decode() treats an
+  // out-of-range id as a thrown requirement failure we'd rather report
+  // as data.
+  std::vector<circuit::PinToken> tour;
+  tour.reserve(ids.size());
+  const int vocab = tok.vocab_size();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    if (id < 0 || id >= vocab) {
+      out.fail = NetlistDecode::Fail::kTokenOutOfRange;
+      out.message = "token id " + std::to_string(id) + " at position " +
+                    std::to_string(i) + " outside vocab [0, " +
+                    std::to_string(vocab) + ")";
+      return out;
+    }
+    if (id == Tokenizer::kEos || id == Tokenizer::kPad) break;
+    tour.push_back(tok.decode(id));
+  }
+  if (tour.empty()) {
+    out.fail = NetlistDecode::Fail::kEmpty;
+    out.message = "no pin tokens before EOS/pad";
+    return out;
+  }
+  auto res = circuit::decode_tour(tour);
+  if (!res.ok) {
+    out.fail = NetlistDecode::Fail::kBadStructure;
+    out.message = res.error;
+    return out;
+  }
+  out.netlist = std::move(res.netlist);
+  return out;
+}
+
 std::optional<circuit::Netlist> ids_to_netlist(const Tokenizer& tok,
                                                const std::vector<int>& ids) {
-  try {
-    const auto tour = tok.decode_ids(ids);
-    auto res = circuit::decode_tour(tour);
-    if (!res.ok) return std::nullopt;
-    return std::move(res.netlist);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
+  auto res = ids_to_netlist_checked(tok, ids);
+  if (!res.ok()) return std::nullopt;
+  return std::move(res.netlist);
 }
 
 }  // namespace eva::nn

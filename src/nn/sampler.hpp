@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "circuit/pingraph.hpp"
@@ -93,6 +94,13 @@ class BatchedDecoder {
 
   [[nodiscard]] int batch_width() const { return width_; }
 
+  /// Replace the sampling options for subsequent decode() calls (the
+  /// serving layer overrides temperature per request on one persistent
+  /// decoder). Batch width is fixed at construction — the slotted KV
+  /// cache is sized by it — so opts.batch_width is ignored here.
+  void set_options(const SampleOptions& opts) { opts_ = opts; }
+  [[nodiscard]] const SampleOptions& options() const { return opts_; }
+
   /// Decode `n` sequences; out[i] is the i-th requested sequence
   /// regardless of slot scheduling.
   [[nodiscard]] std::vector<SampleResult> decode(Rng& rng, int n);
@@ -105,9 +113,32 @@ class BatchedDecoder {
   TransformerLM::BatchedCache cache_;
 };
 
-/// Decode a sampled id sequence into a netlist (appends the implicit
-/// return-to-VSS if absent is NOT done — the model must close the tour).
-/// Returns nullopt when the sequence is not a decodable tour.
+/// Typed outcome of decoding a sampled id sequence. Token sequences
+/// arriving from outside the sampler (wire protocol, checkpoints, fuzz
+/// inputs) are adversarial: every id is bounds-checked against the
+/// tokenizer's vocabulary before any table lookup, and structural
+/// problems surface as a kind + message instead of an assertion.
+struct NetlistDecode {
+  enum class Fail {
+    kNone,             // decoded successfully, netlist is set
+    kEmpty,            // no pin tokens before EOS/pad
+    kTokenOutOfRange,  // id outside [0, vocab) — adversarial/truncated input
+    kBadStructure,     // in-vocab tokens that do not form a decodable tour
+  };
+  Fail fail = Fail::kNone;
+  std::string message;                     // empty when ok
+  std::optional<circuit::Netlist> netlist; // set iff fail == kNone
+  [[nodiscard]] bool ok() const { return fail == Fail::kNone; }
+};
+
+/// Hardened decode of a sampled id sequence into a netlist (the tour
+/// must already be closed — no implicit return-to-VSS is appended).
+/// Never throws and never aborts, whatever the input bytes.
+[[nodiscard]] NetlistDecode ids_to_netlist_checked(
+    const Tokenizer& tok, const std::vector<int>& ids);
+
+/// Convenience wrapper over ids_to_netlist_checked: nullopt on any
+/// failure, for callers that don't care why.
 [[nodiscard]] std::optional<circuit::Netlist> ids_to_netlist(
     const Tokenizer& tok, const std::vector<int>& ids);
 

@@ -1,11 +1,15 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <thread>
+
+#include "obs/trace.hpp"
 
 #include "obs/json.hpp"
 #include "util/io.hpp"
@@ -193,5 +197,96 @@ void reset_metrics() {
   for (auto& [k, g] : r.gauges) g->reset();
   for (auto& [k, h] : r.histograms) h->reset();
 }
+
+namespace {
+
+std::mutex& export_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Background exporter driven by EVA_METRICS_FLUSH_SEC. Held in a
+/// function-local static so its destructor (stop + join) runs before the
+/// atexit metrics flush of the leaked registry — the final snapshot is
+/// written exactly once by the atexit hook, never raced by this thread.
+class Flusher {
+ public:
+  ~Flusher() { stop(); }
+
+  bool start(double interval_sec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_) return true;
+    if (!(interval_sec > 0.0)) return false;
+    stop_ = false;
+    interval_ = interval_sec;
+    thread_ = std::thread([this] { loop(); });
+    running_ = true;
+    return true;
+  }
+
+  void stop() {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!running_) return;
+      {
+        std::lock_guard<std::mutex> wlk(wake_mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      t = std::move(thread_);
+      running_ = false;
+    }
+    if (t.joinable()) t.join();
+  }
+
+ private:
+  void loop() {
+    const auto period = std::chrono::duration<double>(interval_);
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lk, period, [this] { return stop_; })) break;
+      lk.unlock();
+      export_now();
+      lk.lock();
+    }
+  }
+
+  std::mutex mu_;        // guards start/stop state
+  std::mutex wake_mu_;   // guards stop_ for the cv
+  std::condition_variable cv_;
+  std::thread thread_;
+  double interval_ = 0.0;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+Flusher& flusher() {
+  static Flusher f;
+  return f;
+}
+
+}  // namespace
+
+bool export_now() {
+  // One exporter at a time: the periodic thread, atexit, and explicit
+  // callers all funnel through here, and atomic_write_file makes each
+  // write all-or-nothing, so readers always see a complete snapshot.
+  std::lock_guard<std::mutex> lk(export_mu());
+  const bool wrote = write_metrics_if_configured();
+  write_trace_if_configured();
+  return wrote;
+}
+
+bool start_periodic_flush() {
+  const char* v = std::getenv("EVA_METRICS_FLUSH_SEC");
+  if (!v || !*v) return false;
+  char* end = nullptr;
+  const double sec = std::strtod(v, &end);
+  if (end == v || !(sec > 0.0)) return false;
+  return flusher().start(sec);
+}
+
+void stop_periodic_flush() { flusher().stop(); }
 
 }  // namespace eva::obs

@@ -113,4 +113,23 @@ bool write_metrics_if_configured();
 /// cached references in hot paths never dangle). For tests.
 void reset_metrics();
 
+/// Export metrics + trace to their configured files right now.
+/// Serialized against concurrent callers (the periodic flusher, the
+/// atexit hook, and explicit calls may overlap), and safe to call any
+/// number of times — each call overwrites atomically. Returns true when
+/// a metrics file was actually written.
+bool export_now();
+
+/// Start the background flusher if EVA_METRICS_FLUSH_SEC is set to a
+/// positive interval (seconds, fractional allowed): export_now() runs on
+/// that cadence until stop_periodic_flush() or process exit. Idempotent;
+/// long-lived processes (the serving binary, trainers) call this once at
+/// startup. Returns true when a flusher is (now) running.
+bool start_periodic_flush();
+
+/// Stop the background flusher (joins its thread). Safe without a prior
+/// start. The atexit export still runs, so stopping never loses the
+/// final snapshot.
+void stop_periodic_flush();
+
 }  // namespace eva::obs

@@ -4,11 +4,13 @@
 //   trace.hpp    scoped spans -> chrome://tracing JSON
 //
 // Environment reference:
-//   EVA_LOG_LEVEL     trace|debug|info|warn|error|off (default info)
-//   EVA_LOG_FILE      JSONL log sink path
-//   EVA_METRICS_FILE  metrics JSON written here at exit / flush()
-//   EVA_TRACE_FILE    chrome trace JSON written here at exit / flush();
-//                     setting it is what enables span recording
+//   EVA_LOG_LEVEL          trace|debug|info|warn|error|off (default info)
+//   EVA_LOG_FILE           JSONL log sink path
+//   EVA_METRICS_FILE       metrics JSON written here at exit / flush()
+//   EVA_TRACE_FILE         chrome trace JSON written here at exit /
+//                          flush(); setting it enables span recording
+//   EVA_METRICS_FLUSH_SEC  periodic export interval for long-lived
+//                          processes (see start_periodic_flush())
 #pragma once
 
 #include "obs/log.hpp"
@@ -19,10 +21,8 @@ namespace eva::obs {
 
 /// Write the metrics and trace files now (if the env vars are set).
 /// Also runs automatically at process exit; call mid-run to checkpoint
-/// observability state from long jobs.
-inline void flush() {
-  write_metrics_if_configured();
-  write_trace_if_configured();
-}
+/// observability state from long jobs. Serialized against the periodic
+/// flusher via export_now().
+inline void flush() { export_now(); }
 
 }  // namespace eva::obs

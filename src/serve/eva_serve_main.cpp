@@ -1,0 +1,81 @@
+// eva_serve_main: stand-alone circuit-generation server (DESIGN.md §10).
+//
+// Boots a bench-scale model + persistent batched decoder behind a
+// GenerationService, binds the JSON-lines TCP front end, and runs until
+// SIGTERM/SIGINT, draining admitted requests before exit.
+//
+// Environment:
+//   EVA_SERVE_PORT          listen port (default 7077; 0 = ephemeral)
+//   EVA_SERVE_QUEUE_MAX     admission queue bound (default 64)
+//   EVA_METRICS_FLUSH_SEC   periodic metrics export interval
+//   EVA_METRICS_FILE        metrics export target (obs layer)
+//   EVA_FAULT               fault injection spec (serve_accept, ...)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "nn/config.hpp"
+#include "nn/tokenizer.hpp"
+#include "nn/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "train/signal.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eva;
+
+  train::install_signal_handlers();
+  obs::start_periodic_flush();
+
+  serve::ServerConfig scfg;
+  scfg.port = env_int("EVA_SERVE_PORT", 7077);
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") scfg.port = std::atoi(argv[i + 1]);
+  }
+
+  serve::ServiceConfig cfg;
+  cfg.queue_max =
+      static_cast<std::size_t>(std::max(1, env_int("EVA_SERVE_QUEUE_MAX", 64)));
+
+  // Bench-scale model with fresh weights: the serving layer's contract is
+  // about scheduling/caching, not sample quality. A trained checkpoint
+  // can be swapped in once train_lm emits one.
+  const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
+  Rng rng(1234);
+  const nn::ModelConfig mcfg = nn::ModelConfig::bench_scale(tok.vocab_size());
+  const nn::TransformerLM model(mcfg, rng);
+
+  try {
+    serve::GenerationService service(model, tok, cfg);
+    serve::JsonLineServer server(service, scfg);
+    const int port = server.listen_and_start();
+    // CI readiness probe scrapes this exact line.
+    std::printf("eva_serve listening on port %d\n", port);
+    std::fflush(stdout);
+    server.run();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "eva_serve: %s\n", e.what());
+    return 1;
+  }
+  obs::export_now();
+  std::printf("eva_serve drained, exiting\n");
+  return 0;
+}

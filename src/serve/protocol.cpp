@@ -1,0 +1,275 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace eva::serve {
+
+namespace {
+
+/// Minimal recursive-descent-free scanner for one flat JSON object.
+/// Accepts string / number / true / false / null values only; nesting is
+/// a parse error (the protocol is intentionally flat).
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(std::string_view s) : s_(s) {}
+
+  struct Field {
+    std::string key;
+    enum class Kind { kString, kNumber, kBool, kNull } kind = Kind::kNull;
+    std::string str;
+    double num = 0.0;
+    bool b = false;
+  };
+
+  /// Drives the scan; calls on_field for each key/value pair. Returns
+  /// false with err_ set on malformed input.
+  template <class Fn>
+  bool scan(Fn on_field) {
+    skip_ws();
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (consume('}')) return finish();
+    for (;;) {
+      Field f;
+      if (!parse_string(f.key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      if (!parse_value(f)) return false;
+      on_field(f);
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume('}')) return finish();
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+
+ private:
+  bool finish() {
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing bytes after object");
+    return true;
+  }
+
+  bool fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Only BMP escapes; decoded to '?' — the protocol's string
+            // fields are ASCII identifiers, not free text.
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            pos_ += 4;
+            out += '?';
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+      if (out.size() > kMaxString) return fail("string too long");
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Field& f) {
+    if (pos_ >= s_.size()) return fail("missing value");
+    const char c = s_[pos_];
+    if (c == '"') {
+      f.kind = Field::Kind::kString;
+      return parse_string(f.str);
+    }
+    if (c == '{' || c == '[') return fail("nested values not allowed");
+    if (s_.substr(pos_, 4) == "true") {
+      f.kind = Field::Kind::kBool;
+      f.b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      f.kind = Field::Kind::kBool;
+      f.b = false;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.substr(pos_, 4) == "null") {
+      f.kind = Field::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string num(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    f.num = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return fail("malformed number");
+    f.kind = Field::Kind::kNumber;
+    return true;
+  }
+
+  static constexpr std::size_t kMaxString = 256;
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+/// Lowercased alphanumerics only, so "Op-Amp", "opamp" and "OPAMP" all
+/// name the same type over the wire.
+std::string normalize_type(std::string_view name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+std::optional<circuit::CircuitType> parse_type(std::string_view name) {
+  const std::string want = normalize_type(name);
+  if (want.empty()) return std::nullopt;
+  for (int i = 0; i < circuit::kNumCircuitTypes; ++i) {
+    const auto t = static_cast<circuit::CircuitType>(i);
+    if (normalize_type(circuit::type_name(t)) == want) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<Priority> parse_priority(std::string_view name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "low") return Priority::kLow;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  Request req;
+  std::string field_err;
+  FlatJsonScanner scanner(line);
+  const bool ok = scanner.scan([&](const FlatJsonScanner::Field& f) {
+    using Kind = FlatJsonScanner::Field::Kind;
+    if (f.key == "type" && f.kind == Kind::kString) {
+      if (const auto t = parse_type(f.str)) {
+        req.type = *t;
+      } else if (field_err.empty()) {
+        field_err = "unknown circuit type: " + f.str;
+      }
+    } else if (f.key == "n" && f.kind == Kind::kNumber) {
+      req.n = static_cast<int>(f.num);
+    } else if (f.key == "temperature" && f.kind == Kind::kNumber) {
+      req.temperature = static_cast<float>(f.num);
+    } else if (f.key == "deadline_ms" && f.kind == Kind::kNumber) {
+      req.deadline_ms = f.num;
+    } else if (f.key == "priority" && f.kind == Kind::kString) {
+      if (const auto p = parse_priority(f.str)) {
+        req.priority = *p;
+      } else if (field_err.empty()) {
+        field_err = "unknown priority: " + f.str;
+      }
+    } else if (f.key == "seed" && f.kind == Kind::kNumber) {
+      req.seed = f.num < 0 ? 0 : static_cast<std::uint64_t>(f.num);
+    }
+    // Unknown keys are ignored (forward compatibility).
+  });
+  if (!ok || !field_err.empty()) {
+    if (error) *error = field_err.empty() ? scanner.error() : field_err;
+    return std::nullopt;
+  }
+  if (req.n < 1) {
+    if (error) *error = "n must be >= 1";
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string item_to_json(const Item& item) {
+  std::string out = "{\"netlist\": ";
+  obs::json_string_into(out, item.netlist);
+  out += ", \"decoded\": ";
+  out += item.decoded ? "true" : "false";
+  out += ", \"valid\": ";
+  out += item.valid ? "true" : "false";
+  out += ", \"fom\": ";
+  obs::json_number_into(out, item.fom);
+  out += ", \"cached\": ";
+  out += item.cached ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string done_to_json(const Response& r) {
+  std::string out = "{\"done\": true, \"status\": ";
+  obs::json_string_into(out, status_name(r.status));
+  out += ", \"items\": ";
+  obs::json_number_into(out, static_cast<std::int64_t>(r.items.size()));
+  out += ", \"latency_ms\": ";
+  obs::json_number_into(out, r.latency_ms);
+  if (r.status == Status::kRejected) {
+    out += ", \"retry_after_ms\": ";
+    obs::json_number_into(out, r.retry_after_ms);
+  }
+  out += "}";
+  return out;
+}
+
+std::string bad_request_json(std::string_view error) {
+  std::string out = "{\"done\": true, \"status\": \"bad_request\", \"error\": ";
+  obs::json_string_into(out, error);
+  out += "}";
+  return out;
+}
+
+}  // namespace eva::serve

@@ -1,0 +1,48 @@
+// Wire protocol of the serving front end (DESIGN.md §10): JSON-lines
+// over a byte stream. One request object per line:
+//
+//   {"type":"OpAmp","n":4,"temperature":0.9,"deadline_ms":500,
+//    "priority":"high","seed":42}
+//
+// (every field optional; defaults: OpAmp, n=1, T=1.0, no deadline,
+// normal priority, service-stream seed). The server answers with one
+// JSON line per generated topology
+//
+//   {"netlist":"M1 ...","decoded":true,"valid":true,"fom":231.8,
+//    "cached":false}
+//
+// followed by exactly one terminator line carrying the request status:
+//
+//   {"done":true,"status":"ok","items":4,"latency_ms":12.7}
+//   {"done":true,"status":"rejected","items":0,"retry_after_ms":50}
+//
+// Malformed request lines get {"done":true,"status":"bad_request",
+// "error":"..."} and the connection stays open. The parser accepts only
+// flat objects (no nesting) — the protocol never needs more, and a
+// bounded grammar is the right posture for untrusted input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace eva::serve {
+
+/// Parse one request line. On failure returns nullopt and, when `error`
+/// is non-null, a human-readable reason. Never throws.
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line,
+                                                   std::string* error);
+
+/// One generated topology as a JSON line (no trailing newline).
+[[nodiscard]] std::string item_to_json(const Item& item);
+
+/// The request terminator as a JSON line (no trailing newline).
+[[nodiscard]] std::string done_to_json(const Response& r);
+
+/// Terminator for a request that never reached the service (parse
+/// failure).
+[[nodiscard]] std::string bad_request_json(std::string_view error);
+
+}  // namespace eva::serve

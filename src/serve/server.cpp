@@ -1,0 +1,204 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "train/signal.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace eva::serve {
+
+namespace {
+
+constexpr int kPollMs = 100;  // stop-flag observation granularity
+
+/// Write all of `data`, retrying on partial writes/EINTR. Under the
+/// serve_slow_client fault the payload trickles out in tiny chunks with
+/// pauses, exercising client-side read loops. Returns false when the
+/// peer went away.
+bool write_all(int fd, std::string_view data, bool slow) {
+  const std::size_t chunk = slow ? 7 : data.size();
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t want = std::min(chunk, data.size() - off);
+    const ssize_t n = ::send(fd, data.data() + off, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+    if (slow && off < data.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return true;
+}
+
+bool send_line(int fd, std::string line, bool slow) {
+  line += '\n';
+  return write_all(fd, line, slow);
+}
+
+}  // namespace
+
+JsonLineServer::JsonLineServer(GenerationService& service, ServerConfig cfg)
+    : service_(&service), cfg_(std::move(cfg)) {}
+
+JsonLineServer::~JsonLineServer() { stop(); }
+
+int JsonLineServer::listen_and_start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw ConfigError(std::string("serve: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("serve: bad bind address: " + cfg_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("serve: cannot listen on " + cfg_.bind_addr + ":" +
+                      std::to_string(cfg_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  service_->start();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  obs::log_info("serve.listening",
+                {{"addr", cfg_.bind_addr}, {"port", bound_port_}});
+  return bound_port_;
+}
+
+void JsonLineServer::run() {
+  while (!stopping_.load() && !train::stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+  stop();
+}
+
+void JsonLineServer::stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true);
+    if (acceptor_.joinable()) acceptor_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Admitted work completes before the sockets carrying it are torn
+    // down: drain first, then shut the remaining connections so their
+    // handler threads observe EOF and exit.
+    service_->drain();
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> handlers;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      handlers.swap(handlers_);
+    }
+    for (auto& t : handlers) {
+      if (t.joinable()) t.join();
+    }
+    obs::log_info("serve.stopped");
+  });
+}
+
+void JsonLineServer::accept_loop() {
+  static obs::Counter& accepted = obs::counter("serve.connections");
+  static obs::Counter& dropped = obs::counter("serve.accept_faults");
+  while (!stopping_.load() && !train::stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check stop flags
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (fault::enabled() && fault::should_fire("serve_accept")) {
+      // Injected accept failure: the client sees an immediate close and
+      // must retry — exercises client reconnect paths.
+      dropped.add();
+      ::close(fd);
+      continue;
+    }
+    accepted.add();
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    open_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void JsonLineServer::handle_connection(int fd) {
+  const bool slow =
+      fault::enabled() && fault::should_fire("serve_slow_client");
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error: client is gone
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > 1 << 20) break;  // pathological line: hang up
+
+    std::size_t nl;
+    while (open && (nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      std::string err;
+      const auto req = parse_request(line, &err);
+      if (!req) {
+        open = send_line(fd, bad_request_json(err), slow);
+        continue;
+      }
+      auto ticket = service_->submit(*req);
+      Response resp = ticket.response.get();
+      for (const Item& item : resp.items) {
+        if (!send_line(fd, item_to_json(item), slow)) {
+          open = false;
+          break;
+        }
+      }
+      if (open) open = send_line(fd, done_to_json(resp), slow);
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+}
+
+}  // namespace eva::serve

@@ -1,0 +1,74 @@
+// Minimal TCP JSON-lines front end for GenerationService (DESIGN.md
+// §10).
+//
+// One acceptor thread polls the listening socket (100 ms granularity so
+// a SIGTERM via train/signal is observed promptly); each accepted
+// connection gets its own handler thread that reads request lines,
+// submits them to the service, and streams the response items followed
+// by a terminator line (see serve/protocol.hpp). Connections are served
+// request-at-a-time — the concurrency story lives in the service queue,
+// not in the socket layer.
+//
+// Shutdown: stop() (or SIGTERM observed by run()) closes the listener,
+// wakes every handler, drains the service (completing all admitted
+// requests), and joins all threads. Fault sites: `serve_accept` drops a
+// freshly accepted connection, `serve_slow_client` trickles a response
+// out in tiny chunks (both driven by EVA_FAULT, util/fault.hpp).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace eva::serve {
+
+struct ServerConfig {
+  std::string bind_addr = "127.0.0.1";
+  int port = 7077;  // 0 = ephemeral (bound port returned by listen_and_start)
+};
+
+class JsonLineServer {
+ public:
+  /// The service must outlive the server.
+  JsonLineServer(GenerationService& service, ServerConfig cfg = {});
+  ~JsonLineServer();
+
+  JsonLineServer(const JsonLineServer&) = delete;
+  JsonLineServer& operator=(const JsonLineServer&) = delete;
+
+  /// Bind + listen + start the acceptor thread. Returns the bound port.
+  /// Throws eva::ConfigError when the socket cannot be bound.
+  int listen_and_start();
+
+  /// Block until a stop is requested (SIGTERM/SIGINT via train/signal,
+  /// or stop() from another thread), then shut down gracefully.
+  void run();
+
+  /// Programmatic shutdown: stop accepting, drain the service, join all
+  /// threads. Idempotent and thread-safe.
+  void stop();
+
+  [[nodiscard]] int port() const { return bound_port_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  GenerationService* service_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> handlers_;
+  std::vector<int> open_fds_;
+  std::once_flag stop_once_;
+};
+
+}  // namespace eva::serve

@@ -1,0 +1,230 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/canon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "spice/engine.hpp"
+#include "spice/fom.hpp"
+#include "train/signal.hpp"
+
+namespace eva::serve {
+
+std::string_view status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kRejected: return "rejected";
+    case Status::kCancelled: return "cancelled";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+GenerationService::GenerationService(const nn::TransformerLM& model,
+                                     const nn::Tokenizer& tok,
+                                     ServiceConfig cfg)
+    : model_(&model),
+      tok_(&tok),
+      cfg_(cfg),
+      cache_(cfg.cache_capacity),
+      decoder_(model, tok, std::max(1, cfg.batch_width), cfg.sample) {}
+
+GenerationService::~GenerationService() { drain(); }
+
+std::size_t GenerationService::depth_locked() const {
+  std::size_t d = 0;
+  for (const auto& q : queues_) d += q.size();
+  return d;
+}
+
+GenerationService::Ticket GenerationService::submit(Request req) {
+  static obs::Counter& submitted = obs::counter("serve.submitted");
+  static obs::Counter& rejected = obs::counter("serve.rejected");
+  static obs::Gauge& depth_g = obs::gauge("serve.queue_depth");
+  submitted.add();
+
+  auto p = std::make_shared<Pending>();
+  req.n = std::clamp(req.n, 1, std::max(1, cfg_.max_n));
+  if (!(req.temperature > 0.0f)) req.temperature = 1.0f;
+  const int pr = std::clamp(static_cast<int>(req.priority), 0,
+                            kNumPriorities - 1);
+  req.priority = static_cast<Priority>(pr);
+  p->req = req;
+  p->admitted = std::chrono::steady_clock::now();
+  if (req.deadline_ms > 0.0) {
+    p->has_deadline = true;
+    p->deadline =
+        p->admitted + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              req.deadline_ms));
+  }
+
+  Ticket t;
+  t.response = p->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    p->id = next_id_++;
+    t.id = p->id;
+    if (draining_ || train::stop_requested()) {
+      Response r;
+      r.status = Status::kShutdown;
+      p->promise.set_value(std::move(r));
+      return t;
+    }
+    if (depth_locked() >= cfg_.queue_max) {
+      rejected.add();
+      Response r;
+      r.status = Status::kRejected;
+      r.retry_after_ms = cfg_.retry_after_ms;
+      p->promise.set_value(std::move(r));
+      return t;
+    }
+    queues_[pr].push_back(p);
+    queued_ids_[p->id] = p;
+    depth_g.set(static_cast<double>(depth_locked()));
+  }
+  cv_.notify_one();
+  return t;
+}
+
+bool GenerationService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = queued_ids_.find(id);
+  if (it == queued_ids_.end()) return false;
+  if (auto p = it->second.lock()) {
+    p->cancelled.store(true);
+    return true;
+  }
+  return false;
+}
+
+void GenerationService::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) return;
+  started_ = true;
+  scheduler_ = std::thread([this] { run(); });
+}
+
+void GenerationService::drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
+  // A never-started service still owes completion to everything it
+  // admitted: run the scheduler for the backlog.
+  start();
+  cv_.notify_all();
+  // Serialize the join so concurrent drain() calls (explicit + dtor)
+  // don't race on the thread handle.
+  std::lock_guard<std::mutex> jlk(join_mu_);
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::size_t GenerationService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return depth_locked();
+}
+
+void GenerationService::run() {
+  static obs::Gauge& depth_g = obs::gauge("serve.queue_depth");
+  static obs::Counter& timeouts = obs::counter("serve.timeouts");
+  static obs::Counter& cancels = obs::counter("serve.cancelled");
+  Rng service_rng(cfg_.seed);
+  for (;;) {
+    std::shared_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // wait_for (not wait): train::stop_requested() flips from a signal
+      // handler that cannot notify the cv, so the scheduler polls it.
+      while (depth_locked() == 0 && !draining_ && !train::stop_requested()) {
+        cv_.wait_for(lk, std::chrono::milliseconds(20));
+      }
+      if (depth_locked() == 0) break;  // drain complete
+      for (auto& q : queues_) {
+        if (!q.empty()) {
+          p = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
+      queued_ids_.erase(p->id);
+      depth_g.set(static_cast<double>(depth_locked()));
+    }
+    Response r;
+    if (p->cancelled.load()) {
+      r.status = Status::kCancelled;
+      cancels.add();
+    } else if (p->has_deadline &&
+               std::chrono::steady_clock::now() > p->deadline) {
+      r.status = Status::kTimeout;
+      timeouts.add();
+    } else {
+      r = execute(*p, service_rng);
+    }
+    finish(*p, std::move(r));
+  }
+}
+
+Response GenerationService::execute(Pending& p, Rng& service_rng) {
+  obs::Span span("serve.request");
+  Response r;
+  nn::SampleOptions opts = cfg_.sample;
+  opts.temperature = p.req.temperature;
+  decoder_.set_options(opts);
+  // Seeded requests are idempotent (and cache-friendly); unseeded ones
+  // consume the service stream.
+  Rng req_rng = p.req.seed != 0 ? Rng(p.req.seed) : service_rng.fork();
+  auto results = decoder_.decode(req_rng, p.req.n);
+
+  r.items.reserve(results.size());
+  for (auto& res : results) {
+    Item item;
+    item.ids = std::move(res.ids);
+    auto dec = nn::ids_to_netlist_checked(*tok_, item.ids);
+    if (dec.netlist) {
+      item.decoded = true;
+      const circuit::Netlist& nl = *dec.netlist;
+      item.netlist = nl.to_spice();
+      const std::uint64_t key = ResultCache::key_for(
+          circuit::canonical_hash(nl), static_cast<int>(p.req.type));
+      if (const auto hit = cache_.get(key)) {
+        item.valid = hit->valid;
+        item.fom = hit->fom;
+        item.cached = true;
+      } else {
+        CachedEval ev;
+        ev.valid = spice::simulatable(nl);
+        if (ev.valid && cfg_.evaluate_fom) {
+          const auto perf = spice::evaluate_default(nl, p.req.type);
+          if (perf.ok && std::isfinite(perf.fom)) ev.fom = perf.fom;
+        }
+        cache_.put(key, ev);
+        item.valid = ev.valid;
+        item.fom = ev.fom;
+      }
+    }
+    r.items.push_back(std::move(item));
+  }
+  r.status = Status::kOk;
+  return r;
+}
+
+void GenerationService::finish(Pending& p, Response&& r) {
+  static obs::Histogram& lat_h = obs::histogram("serve.latency_ms");
+  static obs::Counter& completed = obs::counter("serve.completed");
+  r.latency_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - p.admitted)
+                     .count();
+  r.finished_seq = finished_seq_.fetch_add(1) + 1;
+  if (r.status == Status::kOk) {
+    lat_h.record(r.latency_ms);
+    completed.add();
+  }
+  p.promise.set_value(std::move(r));
+}
+
+}  // namespace eva::serve

@@ -17,7 +17,7 @@
 // Sites in use: io_write (util/io atomic writer), ckpt_write /
 // ckpt_bitflip (train/checkpoint), nan_grad (all three trainers),
 // spice_dc (spice/engine), fom_nan (spice/fom), reward_nan
-// (rl/reward_model).
+// (rl/reward_model), serve_accept / serve_slow_client (serve/server).
 //
 // With no spec active, should_fire is one relaxed atomic load.
 #pragma once

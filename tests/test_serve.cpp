@@ -1,0 +1,625 @@
+// Serving-layer suite (DESIGN.md §10): GenerationService scheduling
+// semantics (future round-trip, strict priorities, deadline expiry,
+// queue-full backpressure, cancellation, graceful drain), ResultCache
+// LRU/sharding behaviour, canonical-hash memoization (cache hits on
+// resubmission of identical topologies), the JSON-lines wire protocol,
+// a live TCP loopback round trip, the hardened ids_to_netlist_checked
+// path under adversarial token sequences, WL canonical-hash properties,
+// and the periodic metrics flusher.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/canon.hpp"
+#include "data/builder.hpp"
+#include "data/generators.hpp"
+#include "nn/sampler.hpp"
+#include "nn/tokenizer.hpp"
+#include "nn/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "train/signal.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace eva;
+using namespace eva::serve;
+
+nn::Tokenizer small_tokenizer() {
+  return nn::Tokenizer({4, 4, 2, 2, 2, 2, 2, 2});
+}
+
+/// Tiny model + service fixture. Each test gets a fresh service so the
+/// scheduler thread never outlives the test's assertions.
+struct ServeFixture {
+  explicit ServeFixture(ServiceConfig cfg = {})
+      : tok(small_tokenizer()),
+        rng(99),
+        model(nn::ModelConfig::tiny(tok.vocab_size()), rng),
+        service(model, tok, cfg) {}
+
+  nn::Tokenizer tok;
+  Rng rng;
+  nn::TransformerLM model;
+  GenerationService service;
+};
+
+ServiceConfig fast_config() {
+  ServiceConfig cfg;
+  cfg.batch_width = 4;
+  cfg.sample.max_len = 48;  // keep tiny-model decodes snappy
+  return cfg;
+}
+
+// --- GenerationService -------------------------------------------------------
+
+TEST(Service, FutureRoundTrip) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  Request req;
+  req.n = 2;
+  req.seed = 11;
+  auto t = f.service.submit(req);
+  Response r = t.response.get();
+  EXPECT_EQ(r.status, Status::kOk);
+  ASSERT_EQ(r.items.size(), 2u);
+  for (const auto& item : r.items) {
+    EXPECT_FALSE(item.ids.empty());
+    if (item.decoded) {
+      EXPECT_FALSE(item.netlist.empty());
+    }
+  }
+  EXPECT_GT(r.latency_ms, 0.0);
+  EXPECT_GT(r.finished_seq, 0u);
+}
+
+TEST(Service, PriorityOrderingAcrossLevels) {
+  // Everything is queued before the scheduler starts, so pop order is
+  // purely priority order regardless of submission order.
+  ServeFixture f(fast_config());
+  Request lo, mid, hi;
+  lo.priority = Priority::kLow;
+  mid.priority = Priority::kNormal;
+  hi.priority = Priority::kHigh;
+  lo.seed = mid.seed = hi.seed = 5;
+  auto tl = f.service.submit(lo);
+  auto tm = f.service.submit(mid);
+  auto th = f.service.submit(hi);
+  f.service.start();
+  const Response rl = tl.response.get();
+  const Response rm = tm.response.get();
+  const Response rh = th.response.get();
+  EXPECT_LT(rh.finished_seq, rm.finished_seq);
+  EXPECT_LT(rm.finished_seq, rl.finished_seq);
+}
+
+TEST(Service, ExpiredDeadlineResolvesToTimeout) {
+  ServeFixture f(fast_config());
+  Request req;
+  req.deadline_ms = 1.0;
+  auto t = f.service.submit(req);  // queued: scheduler not started yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  f.service.start();
+  Response r = t.response.get();
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_TRUE(r.items.empty());
+}
+
+TEST(Service, QueueFullRejectsWithRetryAfter) {
+  ServiceConfig cfg = fast_config();
+  cfg.queue_max = 2;
+  cfg.retry_after_ms = 123.0;
+  ServeFixture f(cfg);
+  // Not started: the queue can only fill.
+  auto t1 = f.service.submit({});
+  auto t2 = f.service.submit({});
+  auto t3 = f.service.submit({});
+  Response r3 = t3.response.get();
+  EXPECT_EQ(r3.status, Status::kRejected);
+  EXPECT_DOUBLE_EQ(r3.retry_after_ms, 123.0);
+  EXPECT_EQ(f.service.queue_depth(), 2u);
+  f.service.drain();
+  EXPECT_EQ(t1.response.get().status, Status::kOk);
+  EXPECT_EQ(t2.response.get().status, Status::kOk);
+}
+
+TEST(Service, CancelQueuedRequest) {
+  ServeFixture f(fast_config());
+  auto t = f.service.submit({});
+  EXPECT_TRUE(f.service.cancel(t.id));
+  f.service.start();
+  EXPECT_EQ(t.response.get().status, Status::kCancelled);
+  EXPECT_FALSE(f.service.cancel(t.id));  // no longer queued
+}
+
+TEST(Service, SeededResubmissionHitsCanonicalCache) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  Request req;
+  req.n = 3;
+  req.seed = 42;  // identical seed => identical topologies both times
+  const auto hits_before = obs::counter("serve.cache_hits").value();
+  Response first = f.service.submit(req).response.get();
+  ASSERT_EQ(first.status, Status::kOk);
+  Response second = f.service.submit(req).response.get();
+  ASSERT_EQ(second.status, Status::kOk);
+  const auto hits_after = obs::counter("serve.cache_hits").value();
+  EXPECT_GT(hits_after, hits_before);
+  ASSERT_EQ(first.items.size(), second.items.size());
+  for (std::size_t i = 0; i < second.items.size(); ++i) {
+    EXPECT_EQ(first.items[i].ids, second.items[i].ids);
+    if (second.items[i].decoded) {
+      // The evaluation was memoized by WL canonical hash.
+      EXPECT_TRUE(second.items[i].cached);
+      EXPECT_EQ(second.items[i].valid, first.items[i].valid);
+      EXPECT_DOUBLE_EQ(second.items[i].fom, first.items[i].fom);
+    }
+  }
+}
+
+TEST(Service, ConcurrentSubmitsFromPoolWorkers) {
+  ServiceConfig cfg = fast_config();
+  cfg.queue_max = 256;
+  ServeFixture f(cfg);
+  f.service.start();
+  constexpr int kN = 24;
+  std::vector<GenerationService::Ticket> tickets(kN);
+  std::mutex mu;
+  parallel_for(0, static_cast<std::size_t>(kN), [&](std::size_t i) {
+    Request req;
+    req.seed = 100 + i;
+    auto t = f.service.submit(req);
+    std::lock_guard<std::mutex> lk(mu);
+    tickets[i] = std::move(t);
+  });
+  int ok = 0;
+  for (auto& t : tickets) {
+    const Response r = t.response.get();
+    EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kRejected);
+    if (r.status == Status::kOk) ++ok;
+  }
+  EXPECT_GT(ok, 0);
+}
+
+TEST(Service, DrainCompletesAdmittedThenRejectsNew) {
+  ServeFixture f(fast_config());
+  auto t1 = f.service.submit({});
+  auto t2 = f.service.submit({});
+  f.service.drain();  // never started: drain() must still complete both
+  EXPECT_EQ(t1.response.get().status, Status::kOk);
+  EXPECT_EQ(t2.response.get().status, Status::kOk);
+  auto t3 = f.service.submit({});
+  EXPECT_EQ(t3.response.get().status, Status::kShutdown);
+}
+
+TEST(Service, SigtermDrainCompletesAdmittedRequests) {
+  train::clear_stop();
+  ServeFixture f(fast_config());
+  auto t1 = f.service.submit({});
+  auto t2 = f.service.submit({});
+  train::request_stop();  // what the SIGTERM handler does
+  f.service.start();
+  f.service.drain();
+  EXPECT_EQ(t1.response.get().status, Status::kOk);
+  EXPECT_EQ(t2.response.get().status, Status::kOk);
+  auto t3 = f.service.submit({});
+  EXPECT_EQ(t3.response.get().status, Status::kShutdown);
+  train::clear_stop();
+}
+
+TEST(Service, LatencyHistogramRecordsCompletions) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  const auto before = obs::histogram("serve.latency_ms").snapshot().count;
+  (void)f.service.submit({}).response.get();
+  const auto after = obs::histogram("serve.latency_ms").snapshot().count;
+  EXPECT_GT(after, before);
+}
+
+// --- ResultCache -------------------------------------------------------------
+
+TEST(ResultCacheTest, PutGetAndTypeSeparation) {
+  ResultCache cache(64);
+  const std::uint64_t h = 0xDEADBEEFULL;
+  cache.put(ResultCache::key_for(h, 0), {true, 2.5});
+  const auto hit = cache.get(ResultCache::key_for(h, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->valid);
+  EXPECT_DOUBLE_EQ(hit->fom, 2.5);
+  // Same topology under a different target type is a distinct entry.
+  EXPECT_FALSE(cache.get(ResultCache::key_for(h, 1)).has_value());
+}
+
+TEST(ResultCacheTest, BoundedLruEvictsOldEntries) {
+  ResultCache cache(16, /*shards=*/1);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.put(i * 7919 + 1, {true, static_cast<double>(i)});
+  }
+  EXPECT_LE(cache.size(), 16u);
+  // The newest entry survives.
+  EXPECT_TRUE(cache.get(63 * 7919 + 1).has_value());
+}
+
+TEST(ResultCacheTest, GetRefreshesRecency) {
+  ResultCache cache(4, /*shards=*/1);
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.put(k, {true, 0.0});
+  ASSERT_TRUE(cache.get(1).has_value());  // refresh key 1
+  cache.put(5, {true, 0.0});              // evicts key 2, not key 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+// --- wire protocol -----------------------------------------------------------
+
+TEST(Protocol, ParsesFullRequest) {
+  std::string err;
+  const auto req = parse_request(
+      R"({"type":"Ldo","n":4,"temperature":0.5,"deadline_ms":250,)"
+      R"("priority":"high","seed":9})",
+      &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->type, circuit::CircuitType::Ldo);
+  EXPECT_EQ(req->n, 4);
+  EXPECT_FLOAT_EQ(req->temperature, 0.5f);
+  EXPECT_DOUBLE_EQ(req->deadline_ms, 250.0);
+  EXPECT_EQ(req->priority, Priority::kHigh);
+  EXPECT_EQ(req->seed, 9u);
+}
+
+TEST(Protocol, EmptyObjectYieldsDefaults) {
+  std::string err;
+  const auto req = parse_request("{}", &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->type, circuit::CircuitType::OpAmp);
+  EXPECT_EQ(req->n, 1);
+  EXPECT_EQ(req->priority, Priority::kNormal);
+  EXPECT_EQ(req->seed, 0u);
+}
+
+TEST(Protocol, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse_request("", &err).has_value());
+  EXPECT_FALSE(parse_request("not json", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"n":)", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"n":0})", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"type":"NoSuchType"})", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"priority":"urgent"})", &err).has_value());
+  // Nesting is out of grammar by design.
+  EXPECT_FALSE(parse_request(R"({"a":{"b":1}})", &err).has_value());
+  EXPECT_FALSE(parse_request(R"({"a":[1,2]})", &err).has_value());
+  // Trailing garbage after the object.
+  EXPECT_FALSE(parse_request(R"({"n":1} extra)", &err).has_value());
+  // Unbounded strings are truncated into an error, not memory.
+  EXPECT_FALSE(
+      parse_request("{\"type\":\"" + std::string(5000, 'x') + "\"}", &err)
+          .has_value());
+}
+
+TEST(Protocol, IgnoresUnknownKeys) {
+  std::string err;
+  const auto req = parse_request(R"({"n":2,"future_field":"yes"})", &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->n, 2);
+}
+
+TEST(Protocol, EmitsItemAndTerminator) {
+  Item item;
+  item.netlist = "M1 \"quoted\"";
+  item.decoded = true;
+  item.valid = true;
+  item.fom = 1.5;
+  const std::string j = item_to_json(item);
+  EXPECT_NE(j.find("\"valid\": true"), std::string::npos);
+  EXPECT_NE(j.find("\\\"quoted\\\""), std::string::npos);
+
+  Response r;
+  r.status = Status::kRejected;
+  r.retry_after_ms = 50.0;
+  const std::string d = done_to_json(r);
+  EXPECT_NE(d.find("\"done\": true"), std::string::npos);
+  EXPECT_NE(d.find("\"rejected\""), std::string::npos);
+  EXPECT_NE(d.find("retry_after_ms"), std::string::npos);
+}
+
+// --- TCP loopback ------------------------------------------------------------
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (int tries = 0; tries < 50; ++tries) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool send_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t n = ::send(fd, s.data() + off, s.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read lines until `want_done` lines containing "done" arrive (or EOF).
+std::vector<std::string> read_lines_until_done(int fd, int want_done) {
+  std::vector<std::string> lines;
+  std::string buf;
+  char chunk[4096];
+  int done = 0;
+  while (done < want_done) {
+    std::size_t nl;
+    while (done < want_done && (nl = buf.find('\n')) != std::string::npos) {
+      lines.push_back(buf.substr(0, nl));
+      if (lines.back().find("\"done\"") != std::string::npos) ++done;
+      buf.erase(0, nl + 1);
+    }
+    if (done >= want_done) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  return lines;
+}
+
+TEST(TcpServer, LoopbackRoundTripAndBadRequest) {
+  train::clear_stop();
+  ServeFixture f(fast_config());
+  ServerConfig scfg;
+  scfg.port = 0;  // ephemeral
+  JsonLineServer server(f.service, scfg);
+  const int port = server.listen_and_start();
+  ASSERT_GT(port, 0);
+
+  const int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "{\"n\":2,\"seed\":3}\nnot json\n"));
+  const auto lines = read_lines_until_done(fd, 2);
+  // 2 item lines + ok terminator + bad_request terminator.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"netlist\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(lines[3].find("bad_request"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(TcpServer, AcceptFaultDropsFirstConnection) {
+  train::clear_stop();
+  fault::set_spec("serve_accept:1");
+  ServeFixture f(fast_config());
+  ServerConfig scfg;
+  scfg.port = 0;
+  JsonLineServer server(f.service, scfg);
+  const int port = server.listen_and_start();
+
+  // First connection is accepted then immediately dropped by the fault;
+  // the retry goes through.
+  const int fd1 = connect_loopback(port);
+  ASSERT_GE(fd1, 0);
+  char byte;
+  // Give the acceptor a moment to process (poll granularity), then the
+  // injected close surfaces as EOF.
+  EXPECT_LE(::recv(fd1, &byte, 1, 0), 0);
+  ::close(fd1);
+
+  const int fd2 = connect_loopback(port);
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(send_all(fd2, "{\"seed\":8}\n"));
+  const auto lines = read_lines_until_done(fd2, 1);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("\"status\": \"ok\""), std::string::npos);
+  ::close(fd2);
+  server.stop();
+  fault::set_spec("");
+}
+
+// --- hardened ids_to_netlist --------------------------------------------------
+
+TEST(NetlistDecodeChecked, FlagsOutOfRangeTokens) {
+  const auto tok = small_tokenizer();
+  const auto res =
+      nn::ids_to_netlist_checked(tok, {tok.start_token(), tok.vocab_size()});
+  EXPECT_EQ(res.fail, nn::NetlistDecode::Fail::kTokenOutOfRange);
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.message.empty());
+
+  const auto neg = nn::ids_to_netlist_checked(tok, {-1});
+  EXPECT_EQ(neg.fail, nn::NetlistDecode::Fail::kTokenOutOfRange);
+}
+
+TEST(NetlistDecodeChecked, FlagsEmptyAndTruncated) {
+  const auto tok = small_tokenizer();
+  EXPECT_EQ(nn::ids_to_netlist_checked(tok, {}).fail,
+            nn::NetlistDecode::Fail::kEmpty);
+  EXPECT_EQ(nn::ids_to_netlist_checked(tok, {nn::Tokenizer::kEos}).fail,
+            nn::NetlistDecode::Fail::kEmpty);
+  // A lone VSS token is in-vocab but not a decodable tour.
+  const auto res = nn::ids_to_netlist_checked(tok, {tok.start_token()});
+  EXPECT_EQ(res.fail, nn::NetlistDecode::Fail::kBadStructure);
+}
+
+TEST(NetlistDecodeChecked, RoundTripsValidTour) {
+  const auto tok = small_tokenizer();
+  Rng rng(17);
+  const auto nl = data::generate(circuit::CircuitType::OpAmp, rng);
+  const auto tour = circuit::encode_tour(nl, rng);
+  const auto ids = tok.encode_tour(tour);
+  const auto res = nn::ids_to_netlist_checked(tok, ids);
+  ASSERT_TRUE(res.ok()) << res.message;
+  EXPECT_EQ(circuit::canonical_hash(*res.netlist), circuit::canonical_hash(nl));
+}
+
+TEST(NetlistDecodeChecked, FuzzNeverThrowsOrAborts) {
+  // Adversarial fuzz: random byte soup in and around the vocab range.
+  // The contract is total: some outcome, never an exception or abort.
+  const auto tok = small_tokenizer();
+  Rng rng(0xFADE);
+  const int vocab = tok.vocab_size();
+  for (int iter = 0; iter < 500; ++iter) {
+    const int len = static_cast<int>(rng.uniform() * 40.0);
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      // Mostly in-vocab, sometimes wildly out (including negatives).
+      const double u = rng.uniform();
+      if (u < 0.8) {
+        ids.push_back(static_cast<int>(rng.uniform() * vocab));
+      } else if (u < 0.9) {
+        ids.push_back(vocab + static_cast<int>(rng.uniform() * 1000.0));
+      } else {
+        ids.push_back(-1 - static_cast<int>(rng.uniform() * 1000.0));
+      }
+    }
+    EXPECT_NO_THROW({
+      const auto res = nn::ids_to_netlist_checked(tok, ids);
+      if (res.ok()) {
+        EXPECT_TRUE(res.message.empty());
+      } else {
+        EXPECT_FALSE(res.message.empty());
+      }
+    });
+  }
+}
+
+// --- WL canonical hash --------------------------------------------------------
+
+/// Two-stage amplifier built with a permutation-controlled device order:
+/// any order must hash identically (isomorphic netlists).
+circuit::Netlist two_stage(bool flip_order, bool rewire_one_pin = false) {
+  using circuit::DeviceKind;
+  using circuit::IoPin;
+  data::NetBuilder b;
+  b.rails();
+  b.io("in", IoPin::Vin1);
+  b.io("out", IoPin::Vout1);
+  auto stage1 = [&] {
+    b.mos(DeviceKind::Nmos, "in", "mid", "VSS");
+    b.two(DeviceKind::Resistor, "VDD", "mid");
+  };
+  auto stage2 = [&] {
+    // The near-miss rewires exactly one pin: gate taken from "in"
+    // instead of "mid" (a structurally different amplifier).
+    b.mos(DeviceKind::Nmos, rewire_one_pin ? "in" : "mid", "out", "VSS");
+    b.two(DeviceKind::Resistor, "VDD", "out");
+  };
+  if (flip_order) {
+    stage2();
+    stage1();
+  } else {
+    stage1();
+    stage2();
+  }
+  return b.take();
+}
+
+TEST(CanonHash, IsomorphicPairsHashEqual) {
+  EXPECT_EQ(circuit::canonical_hash(two_stage(false)),
+            circuit::canonical_hash(two_stage(true)));
+  // Property over generated circuits: encode/decode renumbers devices,
+  // producing an isomorphic copy.
+  for (int i = 0; i < 5; ++i) {
+    Rng rng(1000 + i);
+    const auto nl = data::generate(circuit::CircuitType::Comparator, rng);
+    const auto res = circuit::decode_tour(circuit::encode_tour(nl, rng));
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(circuit::canonical_hash(res.netlist),
+              circuit::canonical_hash(nl));
+  }
+}
+
+TEST(CanonHash, NearMissSinglePinRewireDiffers) {
+  EXPECT_NE(circuit::canonical_hash(two_stage(false, false)),
+            circuit::canonical_hash(two_stage(false, true)));
+}
+
+TEST(CanonHash, StableAcrossThreadCounts) {
+  const auto nl = two_stage(false);
+  const std::size_t saved = num_threads();
+  set_num_threads(1);
+  const std::uint64_t h1 = circuit::canonical_hash(nl);
+  set_num_threads(4);
+  const std::uint64_t h4 = circuit::canonical_hash(nl);
+  set_num_threads(saved);
+  EXPECT_EQ(h1, h4);
+}
+
+// --- periodic metrics flush ---------------------------------------------------
+
+TEST(MetricsFlush, ExportNowAndPeriodicFlusher) {
+  const std::string path = ::testing::TempDir() + "eva_serve_metrics.json";
+  std::remove(path.c_str());
+  ::setenv("EVA_METRICS_FILE", path.c_str(), 1);
+  ::setenv("EVA_METRICS_FLUSH_SEC", "0.05", 1);
+
+  obs::counter("serve.test_flush_marker").add(3);
+  EXPECT_TRUE(obs::export_now());
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("serve.test_flush_marker"), std::string::npos);
+  }
+
+  // Periodic flusher rewrites the file on its cadence.
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::start_periodic_flush());
+  EXPECT_TRUE(obs::start_periodic_flush());  // idempotent
+  bool appeared = false;
+  for (int i = 0; i < 100 && !appeared; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    appeared = std::ifstream(path).good();
+  }
+  obs::stop_periodic_flush();
+  obs::stop_periodic_flush();  // idempotent
+  EXPECT_TRUE(appeared);
+
+  // export_now still works after the flusher is gone (atexit parity).
+  std::remove(path.c_str());
+  EXPECT_TRUE(obs::export_now());
+  EXPECT_TRUE(std::ifstream(path).good());
+
+  std::remove(path.c_str());
+  ::unsetenv("EVA_METRICS_FILE");
+  ::unsetenv("EVA_METRICS_FLUSH_SEC");
+}
+
+TEST(MetricsFlush, FlusherNeedsConfiguredInterval) {
+  ::unsetenv("EVA_METRICS_FLUSH_SEC");
+  EXPECT_FALSE(obs::start_periodic_flush());
+  ::setenv("EVA_METRICS_FLUSH_SEC", "not a number", 1);
+  EXPECT_FALSE(obs::start_periodic_flush());
+  ::setenv("EVA_METRICS_FLUSH_SEC", "-1", 1);
+  EXPECT_FALSE(obs::start_periodic_flush());
+  ::unsetenv("EVA_METRICS_FLUSH_SEC");
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// eva_serve_client: tiny JSON-lines client for eva_serve_main.
+//
+// Usage:
+//   eva_serve_client [--host H] [--port P] [--repeat K] [--burst]
+//                    ['{"type":"OpAmp","n":2}' ...]
+//
+// Each positional argument is sent as one request line; with no
+// positionals a single default request ("{}") is sent. --repeat K sends
+// the whole set K times. Normally the client writes a request, then
+// reads lines until the {"done":...} terminator; --burst writes ALL
+// request lines up front and only then starts reading — with a small
+// server queue this overflows admission and exercises the backpressure
+// path (the CI smoke job relies on this).
+//
+// Exit code 0 when every expected terminator line arrived, 1 otherwise.
+// Connection attempts retry for ~5 s so the client can be launched
+// concurrently with the server.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+int connect_with_retry(const char* host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) return -1;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < give_up) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read lines until `want_done` terminator lines have been seen (or EOF).
+/// Returns the number of terminators observed.
+int read_until_done(int fd, std::string& buf, int want_done) {
+  int done_seen = 0;
+  char chunk[4096];
+  while (done_seen < want_done) {
+    std::size_t nl;
+    while (done_seen < want_done &&
+           (nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      std::printf("%s\n", line.c_str());
+      if (line.find("\"done\"") != std::string::npos) ++done_seen;
+    }
+    if (done_seen >= want_done) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  return done_seen;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* host = "127.0.0.1";
+  int port = 7077;
+  int repeat = 1;
+  bool burst = false;
+  std::vector<std::string> requests;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--burst") {
+      burst = true;
+    } else {
+      requests.push_back(arg);
+    }
+  }
+  if (requests.empty()) requests.emplace_back("{}");
+
+  const int fd = connect_with_retry(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "eva_serve_client: cannot connect to %s:%d\n", host,
+                 port);
+    return 1;
+  }
+
+  const int total = repeat * static_cast<int>(requests.size());
+  int done_seen = 0;
+  std::string buf;
+  bool write_ok = true;
+  if (burst) {
+    for (int k = 0; write_ok && k < repeat; ++k) {
+      for (const auto& r : requests) {
+        if (!send_line(fd, r)) {
+          write_ok = false;
+          break;
+        }
+      }
+    }
+    done_seen = read_until_done(fd, buf, total);
+  } else {
+    for (int k = 0; write_ok && k < repeat; ++k) {
+      for (const auto& r : requests) {
+        if (!send_line(fd, r)) {
+          write_ok = false;
+          break;
+        }
+        done_seen += read_until_done(fd, buf, 1);
+      }
+    }
+  }
+  ::close(fd);
+
+  std::fprintf(stderr, "eva_serve_client: %d/%d responses complete\n",
+               done_seen, total);
+  return (write_ok && done_seen == total) ? 0 : 1;
+}
