@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -86,6 +87,39 @@ void BM_GemmTN(benchmark::State& state) {
                           state.range(0) * state.range(0));
 }
 BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+// Quantized inference GEMM (weight-only int8/bf16, fused bias epilogue)
+// at the batched-decode shape: n rows of activations against a
+// (256, 768)-ish weight. items_per_second == FLOP/s of the equivalent
+// f32 GEMM, so these read directly against BM_GemmNN.
+void bm_qgemm(benchmark::State& state, tensor::QuantKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kIn = 192;
+  constexpr std::size_t kOut = 768;
+  Rng rng(44);
+  auto w = tensor::Tensor::randn({static_cast<int>(kIn), static_cast<int>(kOut)},
+                                 rng, 1.0f, false);
+  auto x = tensor::Tensor::randn({static_cast<int>(n), static_cast<int>(kIn)},
+                                 rng, 1.0f, false);
+  auto b = tensor::Tensor::randn({static_cast<int>(kOut)}, rng, 1.0f, false);
+  const auto qw = tensor::QuantMatrix::quantize(kind, w.data().data(), kIn, kOut);
+  std::vector<float> y(n * kOut, 0.0f);
+  for (auto _ : state) {
+    tensor::qgemm(x.data().data(), qw, b.data().data(), y.data(), n,
+                  tensor::Epilogue::kBias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * state.range(0) *
+                          static_cast<std::int64_t>(kIn * kOut));
+}
+void BM_QGemmInt8(benchmark::State& state) {
+  bm_qgemm(state, tensor::QuantKind::kInt8);
+}
+BENCHMARK(BM_QGemmInt8)->Arg(1)->Arg(8)->Arg(16);
+void BM_QGemmBf16(benchmark::State& state) {
+  bm_qgemm(state, tensor::QuantKind::kBf16);
+}
+BENCHMARK(BM_QGemmBf16)->Arg(1)->Arg(8)->Arg(16);
 
 void BM_TensorMatmul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -197,11 +231,12 @@ void BM_SampleBatchReference(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleBatchReference)->Unit(benchmark::kMillisecond);
 
-void BM_SampleBatchDecoder(benchmark::State& state) {
+void bm_sample_batch_decoder(benchmark::State& state, tensor::QuantKind quant) {
   const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
   Rng rng(30);
   nn::ModelConfig cfg = batch_bench_config(tok.vocab_size());
   nn::TransformerLM model(cfg, rng);
+  model.set_inference_quant(quant);
   auto opts = batch_bench_opts();
   opts.batch_width = static_cast<int>(state.range(0));
   nn::BatchedDecoder decoder(model, tok, opts.batch_width, opts);
@@ -215,8 +250,22 @@ void BM_SampleBatchDecoder(benchmark::State& state) {
     benchmark::DoNotOptimize(batch.data());
   }
   state.SetItemsProcessed(tokens);
+  state.SetLabel(tensor::quant_kind_name(quant));
+}
+// The shipped serving configuration: int8 weight-quantized decode
+// (EVA_QUANT can override the tier the same way it does in serving).
+void BM_SampleBatchDecoder(benchmark::State& state) {
+  bm_sample_batch_decoder(
+      state, tensor::quant_kind_from_env(tensor::QuantKind::kInt8));
 }
 BENCHMARK(BM_SampleBatchDecoder)->Arg(1)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+// The f32 trajectory, kept as its own family so the quantization win
+// stays measurable against the same commit.
+void BM_SampleBatchDecoderF32(benchmark::State& state) {
+  bm_sample_batch_decoder(state, tensor::QuantKind::kF32);
+}
+BENCHMARK(BM_SampleBatchDecoderF32)->Arg(1)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 // --- circuit ----------------------------------------------------------------
@@ -324,9 +373,18 @@ BENCHMARK(BM_DatasetGenerate);
 // time separately; the cold and warm rows then report their half of that
 // shared window via manual timing. Drift hits both variants of a pair
 // equally, so the reported ordering is the within-window truth.
+//
+// The same window also drives a second service pinned to the f32 tier
+// (BM_ServeThroughputF32): the quantized-vs-f32 serving comparison is
+// cross-process otherwise, and process-to-process drift on this host is
+// larger than the quantization win itself. Interleaving all four
+// variants per round makes the int8/f32 ordering in one committed run
+// trustworthy.
 struct PairedServeWindow {
   double cold_s = 0.0;
   double warm_s = 0.0;
+  double f32_cold_s = 0.0;
+  double f32_warm_s = 0.0;
   std::int64_t items = 0;  // per variant
   bool failed = false;
 };
@@ -338,29 +396,42 @@ const PairedServeWindow& paired_serve_window(int width) {
   PairedServeWindow w;
 
   const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
-  // Weight seed 99 + request seed 3444 is a scanned pair whose 8-topology
-  // batch holds 4 simulatable circuits (the deepest valid fraction found
-  // in a 50k-seed scan), so the validity + FoM evaluation the cache
-  // memoizes actually runs: an arbitrary untrained-weight batch is
-  // almost entirely rejected by the ~2us structural pre-check, which
-  // would bench the cache on a workload where it has nothing to do.
-  Rng rng(99);
-  const nn::ModelConfig cfg = nn::ModelConfig::tiny(tok.vocab_size());
-  const nn::TransformerLM model(cfg, rng);
+  // Weight seed 99 + request seed 1364 is a scanned pair whose 8-topology
+  // batch holds 4 simulatable circuits under the int8 serving default
+  // (the deepest valid fraction found in a 4k-seed scan with the VNNI
+  // kernels), so the validity + FoM evaluation the cache memoizes
+  // actually runs: an arbitrary untrained-weight batch is almost
+  // entirely rejected by the ~2us structural pre-check, which would
+  // bench the cache on a workload where it has nothing to do.
+  // bench_scale, not tiny: at d_model 32 a request is mostly scheduler +
+  // canonicalization and the serve rows stop tracking the decode path
+  // they exist to watch (quantization is invisible there). At d_model 64
+  // decode dominates again, matching the decoder benches above.
+  const nn::ModelConfig cfg = nn::ModelConfig::bench_scale(tok.vocab_size());
+  // Two identically-seeded models: the services repack their model into
+  // their tier at construction, so the tiers can't share one instance.
+  Rng rng_i8(99), rng_f32(99);
+  nn::TransformerLM model_i8(cfg, rng_i8);
+  nn::TransformerLM model_f32(cfg, rng_f32);
   serve::ServiceConfig scfg;
   scfg.batch_width = width;
   scfg.queue_max = 256;
   scfg.sample.temperature = 0.9f;
   scfg.sample.top_k = 12;
   scfg.sample.max_len = 32;
-  serve::GenerationService service(model, tok, scfg);
-  service.start();
+  scfg.quant = tensor::QuantKind::kInt8;  // the serving default
+  serve::GenerationService service_i8(model_i8, tok, scfg);
+  scfg.quant = tensor::QuantKind::kF32;  // unquantized baseline
+  serve::GenerationService service_f32(model_f32, tok, scfg);
+  service_i8.start();
+  service_f32.start();
 
-  const auto timed_request = [&](bool warm, double& acc) {
+  const auto timed_request = [&](serve::GenerationService& service, bool warm,
+                                 double& acc) {
     if (!warm) service.cache().clear();
     serve::Request req;
     req.n = 8;
-    req.seed = 3444;
+    req.seed = 1364;
     req.temperature = 0.9f;  // the per-request override the scan used
     const auto t0 = std::chrono::steady_clock::now();
     const auto resp = service.submit(req).response.get();
@@ -373,17 +444,24 @@ const PairedServeWindow& paired_serve_window(int width) {
     if (warm) w.items += static_cast<std::int64_t>(resp.items.size());
   };
 
-  // Prime both paths once so neither variant pays first-touch costs.
-  timed_request(false, w.cold_s);
-  timed_request(true, w.warm_s);
-  w.cold_s = w.warm_s = 0.0;
+  // Prime all paths once so no variant pays first-touch costs.
+  timed_request(service_i8, false, w.cold_s);
+  timed_request(service_i8, true, w.warm_s);
+  timed_request(service_f32, false, w.f32_cold_s);
+  timed_request(service_f32, true, w.f32_warm_s);
+  w.cold_s = w.warm_s = w.f32_cold_s = w.f32_warm_s = 0.0;
   w.items = 0;
-  constexpr int kRounds = 400;
+  constexpr int kRounds = 200;
   for (int i = 0; i < kRounds && !w.failed; ++i) {
-    timed_request(false, w.cold_s);
-    timed_request(true, w.warm_s);
+    timed_request(service_i8, false, w.cold_s);
+    timed_request(service_i8, true, w.warm_s);
+    timed_request(service_f32, false, w.f32_cold_s);
+    timed_request(service_f32, true, w.f32_warm_s);
   }
-  service.drain();
+  // Both services serve n=8 per round; halve so `items` stays per-variant.
+  w.items /= 2;
+  service_i8.drain();
+  service_f32.drain();
   return windows.emplace(width, w).first->second;
 }
 
@@ -398,9 +476,33 @@ void BM_ServeThroughput(benchmark::State& state) {
     state.SetIterationTime(warm ? w.warm_s : w.cold_s);
   }
   state.SetItemsProcessed(w.items);
-  state.SetLabel(warm ? "warm-cache" : "cold-cache");
+  state.SetLabel(warm ? "int8 warm-cache" : "int8 cold-cache");
 }
 BENCHMARK(BM_ServeThroughput)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The f32-tier half of the paired serving window above: same request
+// stream, same rounds, interleaved in the same process, so this row is
+// the drift-cancelled baseline the quantized rows are judged against.
+void BM_ServeThroughputF32(benchmark::State& state) {
+  const PairedServeWindow& w = paired_serve_window(static_cast<int>(state.range(0)));
+  const bool warm = state.range(1) != 0;
+  if (w.failed) {
+    state.SkipWithError("request not served");
+    return;
+  }
+  for (auto _ : state) {
+    state.SetIterationTime(warm ? w.f32_warm_s : w.f32_cold_s);
+  }
+  state.SetItemsProcessed(w.items);
+  state.SetLabel(warm ? "f32 warm-cache" : "f32 cold-cache");
+}
+BENCHMARK(BM_ServeThroughputF32)
     ->Args({1, 0})->Args({1, 1})
     ->Args({8, 0})->Args({8, 1})
     ->Args({16, 0})->Args({16, 1})
@@ -411,6 +513,16 @@ BENCHMARK(BM_ServeThroughput)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Library build type, stamped into the JSON context so a committed
+  // BENCH_micro.json can always be audited for how it was produced.
+#ifdef NDEBUG
+  constexpr bool kReleaseBuild = true;
+#else
+  constexpr bool kReleaseBuild = false;
+#endif
+  benchmark::AddCustomContext("eva_build_type",
+                              kReleaseBuild ? "release" : "debug");
+
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -419,10 +531,25 @@ int main(int argc, char** argv) {
     }
   }
   std::string out_path = "BENCH_micro.json";
-  if (const char* env = std::getenv("EVA_BENCH_OUT")) out_path = env;
+  bool explicit_out = has_out;
+  if (const char* env = std::getenv("EVA_BENCH_OUT")) {
+    out_path = env;
+    explicit_out = true;
+  }
+  // Non-Release numbers must never silently land in the default report
+  // file (the committed baseline is a Release artifact): a debug build
+  // only writes JSON when the caller explicitly asked for a path, and
+  // even then the eva_build_type context tags the result.
+  if (!kReleaseBuild && !explicit_out) {
+    std::fprintf(stderr,
+                 "bench_micro: debug/unoptimized build -- refusing to write "
+                 "%s; pass --benchmark_out or set EVA_BENCH_OUT to record "
+                 "debug numbers anyway\n",
+                 out_path.c_str());
+  }
   std::string out_flag = "--benchmark_out=" + out_path;
   std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
+  if (!has_out && (kReleaseBuild || explicit_out)) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }

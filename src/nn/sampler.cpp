@@ -418,9 +418,13 @@ class WalkLegality {
 /// Keeping the per-step decision logic in a single place is what makes
 /// the two engines token-identical by construction.
 struct SeqState {
+  /// `scratch` is the caller-owned top-k workspace; BatchedDecoder hands
+  /// each slot its own buffer, reused across every sequence that passes
+  /// through that slot (continuous batching never re-allocates it).
   SeqState(const Tokenizer& tok, const SampleOptions& opts, Rng* rng_in,
-           int max_len_in, int seq_in)
-      : legality(tok), rng(rng_in), max_len(max_len_in), seq(seq_in) {
+           int max_len_in, int seq_in, std::vector<float>* scratch)
+      : legality(tok), topk_scratch(scratch), rng(rng_in), max_len(max_len_in),
+        seq(seq_in) {
     token = tok.start_token();
     res.ids.push_back(token);
     if (opts.legality_mask) legality.on_token(token);
@@ -449,7 +453,7 @@ struct SeqState {
       for (int tries = 0; tries < 8; ++tries) {
         const auto pick = sample_from_logits(
             logits, *rng, tries == 0 ? opts.temperature : 1.0f,
-            tries == 0 ? opts.top_k : 0, topk_scratch);
+            tries == 0 ? opts.top_k : 0, *topk_scratch);
         next = pick.first;
         logp = pick.second;
         if (!legality.illegal_transition(next, tok.start_token(), vdd)) break;
@@ -457,7 +461,7 @@ struct SeqState {
       }
     } else {
       const auto pick = sample_from_logits(logits, *rng, opts.temperature,
-                                           opts.top_k, topk_scratch);
+                                           opts.top_k, *topk_scratch);
       next = pick.first;
       logp = pick.second;
     }
@@ -482,7 +486,7 @@ struct SeqState {
 
   SampleResult res;
   WalkLegality legality;
-  std::vector<float> topk_scratch;
+  std::vector<float>* topk_scratch;
   Rng* rng;
   int token = 0;
   int t = 1;        // next decode-step index (mirrors the reference loop)
@@ -522,7 +526,8 @@ SampleResult sample_sequence(const TransformerLM& model, const Tokenizer& tok,
   const int soft_len = resolve_soft_len(max_len);
   auto cache = model.make_cache();
   std::vector<float> logits;
-  SeqState st(tok, opts, &rng, max_len, 0);
+  std::vector<float> topk_scratch;
+  SeqState st(tok, opts, &rng, max_len, 0, &topk_scratch);
   while (st.t < max_len) {
     model.infer_step(cache, st.token, logits);
     if (st.advance(logits, tok, opts, soft_len)) break;
@@ -545,7 +550,8 @@ BatchedDecoder::BatchedDecoder(const TransformerLM& model, const Tokenizer& tok,
       tok_(&tok),
       opts_(opts),
       width_(std::max(1, batch_width)),
-      cache_(model.make_batched_cache(std::max(1, batch_width))) {}
+      cache_(model.make_batched_cache(std::max(1, batch_width))),
+      slot_scratch_(static_cast<std::size_t>(std::max(1, batch_width))) {}
 
 std::vector<SampleResult> BatchedDecoder::decode(Rng& rng, int n) {
   static obs::Counter& steps_c = obs::counter("sampler.decode_steps");
@@ -587,7 +593,8 @@ std::vector<SampleResult> BatchedDecoder::decode(Rng& rng, int n) {
     while (next_seq < n) {
       cache_.reset_slot(s);
       auto st = std::make_unique<SeqState>(*tok_, opts_, &rngs[next_seq],
-                                           max_len, next_seq);
+                                           max_len, next_seq,
+                                           &slot_scratch_[static_cast<std::size_t>(s)]);
       ++next_seq;
       if (st->t >= max_len) {  // degenerate cap: nothing to decode
         finish(*st);
@@ -600,8 +607,9 @@ std::vector<SampleResult> BatchedDecoder::decode(Rng& rng, int n) {
   };
   for (int s = 0; s < width; ++s) refill(s);
 
-  std::vector<int> slot_ids, tokens;
-  std::vector<float> logits;
+  auto& slot_ids = slot_ids_;
+  auto& tokens = tokens_;
+  auto& logits = logits_;
   const auto vocab = static_cast<std::size_t>(model_->config().vocab);
   while (in_flight > 0) {
     slot_ids.clear();

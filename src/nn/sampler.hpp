@@ -111,6 +111,13 @@ class BatchedDecoder {
   SampleOptions opts_;
   int width_;
   TransformerLM::BatchedCache cache_;
+  // Step scratch, reused across decode() calls (a long-lived decoder
+  // serving many batches never re-allocates per step): the per-slot
+  // top-k buffers handed to each in-flight sequence, and the step's
+  // slot/token/logits staging.
+  std::vector<std::vector<float>> slot_scratch_;
+  std::vector<int> slot_ids_, tokens_;
+  std::vector<float> logits_;
 };
 
 /// Typed outcome of decoding a sampled id sequence. Token sequences

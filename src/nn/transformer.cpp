@@ -86,6 +86,31 @@ void TransformerLM::load_from(const TransformerLM& other) {
     auto d = dst[i].data();
     std::copy(s.begin(), s.end(), d.begin());
   }
+  // Packed inference weights are a snapshot of the tensors just
+  // overwritten — rebuild them so quantized decoding tracks the load.
+  if (qkind_ != QuantKind::kF32) set_inference_quant(qkind_);
+}
+
+void TransformerLM::set_inference_quant(QuantKind kind) {
+  qkind_ = kind;
+  qblocks_.clear();
+  qlm_head_ = QuantMatrix{};
+  if (kind == QuantKind::kF32) return;
+  const auto C = static_cast<std::size_t>(cfg_.d_model);
+  const auto F = static_cast<std::size_t>(cfg_.d_ff);
+  qblocks_.reserve(blocks_.size());
+  for (const auto& b : blocks_) {
+    QuantBlock qb;
+    qb.wq = QuantMatrix::quantize(kind, b.wq.data().data(), C, C);
+    qb.wk = QuantMatrix::quantize(kind, b.wk.data().data(), C, C);
+    qb.wv = QuantMatrix::quantize(kind, b.wv.data().data(), C, C);
+    qb.wo = QuantMatrix::quantize(kind, b.wo.data().data(), C, C);
+    qb.w1 = QuantMatrix::quantize(kind, b.w1.data().data(), C, F);
+    qb.w2 = QuantMatrix::quantize(kind, b.w2.data().data(), F, C);
+    qblocks_.push_back(std::move(qb));
+  }
+  qlm_head_ = QuantMatrix::quantize(kind, lm_head_.data().data(), C,
+                                    static_cast<std::size_t>(cfg_.vocab));
 }
 
 Tensor TransformerLM::block_forward(const Tensor& x, const Block& blk, int T,
@@ -173,12 +198,23 @@ TransformerLM::Cache TransformerLM::make_cache() const {
 
 namespace {
 
-// y = x @ W + b where W is (in,out). Backed by the same register-tiled
-// kernel family as the training matmuls (tensor/gemm.hpp).
-void linear(const float* x, std::span<const float> w, std::span<const float> b,
-            float* y, int in, int out) {
+/// y = x @ W + b through either weight tier: the quantized kernel with
+/// its fused epilogue when `qw` is packed, the f32 gemv (plus an unfused
+/// GELU pass for kBiasGelu) otherwise. The f32 branch is bitwise the
+/// pre-quantization behavior — gelu_approx is the same tanh GELU the
+/// unfused loop always applied.
+void linear1(const float* x, const QuantMatrix* qw, std::span<const float> w,
+             std::span<const float> b, float* y, int in, int out,
+             Epilogue ep) {
+  if (qw != nullptr && !qw->empty()) {
+    tensor::qgemv(x, *qw, b.empty() ? nullptr : b.data(), y, ep);
+    return;
+  }
   tensor::gemv(x, w.data(), b.empty() ? nullptr : b.data(), y,
                static_cast<std::size_t>(in), static_cast<std::size_t>(out));
+  if (ep == Epilogue::kBiasGelu) {
+    for (int i = 0; i < out; ++i) y[i] = gelu_approx(y[i]);
+  }
 }
 
 void layernorm_inplace(float* x, std::span<const float> g,
@@ -199,11 +235,6 @@ void layernorm_inplace(float* x, std::span<const float> g,
   }
 }
 
-float gelu_scalar(float x) {
-  constexpr float kC = 0.7978845608028654f;
-  return 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
-}
-
 /// x = tok_emb[token] + pos_emb[pos], one d_model row.
 void embed_row(std::span<const float> te, std::span<const float> pe, int token,
                int pos, int C, float* x) {
@@ -220,49 +251,58 @@ void embed_row(std::span<const float> te, std::span<const float> pe, int token,
 /// C floats apart, head-major within a position) — the layout both Cache
 /// and BatchedCache slots use, so the reference and batched paths share
 /// this exact reduction order.
+///
+/// Single pass: QK^T, softmax and the V reduction run fused over the
+/// cached positions with an online max/normalizer (accumulator rescaled
+/// by exp(m_old - m_new) whenever the running max moves), so no score
+/// vector is ever materialized and each K/V position is touched exactly
+/// once per head.
 void attend_row(const float* q, const float* kbase, const float* vbase, int T,
-                int C, int H, int hd, float* ctx, std::vector<float>& scores) {
-  scores.assign(static_cast<std::size_t>(T), 0.0f);
+                int C, int H, int hd, float* ctx) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
   for (int head = 0; head < H; ++head) {
     const int off = head * hd;
-    float mx = -1e30f;
+    float m = -1e30f;
+    float z = 0.0f;
+    for (int i = 0; i < hd; ++i) ctx[off + i] = 0.0f;
     for (int t = 0; t < T; ++t) {
-      const float* kt = kbase +
-                        static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
-                        static_cast<std::size_t>(off);
+      const std::size_t tc =
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
+          static_cast<std::size_t>(off);
+      const float* kt = kbase + tc;
       float s = 0;
       for (int i = 0; i < hd; ++i) s += q[off + i] * kt[i];
       s *= scale;
-      scores[static_cast<std::size_t>(t)] = s;
-      mx = std::max(mx, s);
-    }
-    float z = 0;
-    for (int t = 0; t < T; ++t) {
-      scores[static_cast<std::size_t>(t)] =
-          std::exp(scores[static_cast<std::size_t>(t)] - mx);
-      z += scores[static_cast<std::size_t>(t)];
-    }
-    const float inv = 1.0f / z;
-    for (int i = 0; i < hd; ++i) ctx[off + i] = 0.0f;
-    for (int t = 0; t < T; ++t) {
-      const float p = scores[static_cast<std::size_t>(t)] * inv;
-      const float* vt = vbase +
-                        static_cast<std::size_t>(t) * static_cast<std::size_t>(C) +
-                        static_cast<std::size_t>(off);
+      if (s > m) {
+        const float corr = std::exp(m - s);
+        z *= corr;
+        for (int i = 0; i < hd; ++i) ctx[off + i] *= corr;
+        m = s;
+      }
+      const float p = std::exp(s - m);
+      z += p;
+      const float* vt = vbase + tc;
       for (int i = 0; i < hd; ++i) ctx[off + i] += p * vt[i];
     }
+    const float inv = 1.0f / z;
+    for (int i = 0; i < hd; ++i) ctx[off + i] *= inv;
   }
 }
 
-/// Y(n,out) = X(n,in) @ W(in,out) + bias, the batched-decode linear: rows
-/// are seeded with the bias and one gemm_nn accumulates on top, so each
-/// row's value equals the gemv result whenever the reduction fits one
-/// K-panel (see infer_step_batched's contract in the header).
-void linear_batched(const float* x, std::span<const float> w,
-                    std::span<const float> b, float* y, std::size_t n, int in,
-                    int out) {
+/// Y(n,out) = X(n,in) @ W(in,out) + bias, the batched-decode linear,
+/// through either weight tier. f32: rows are seeded with the bias and
+/// one gemm_nn accumulates on top, so each row's value equals the gemv
+/// result whenever the reduction fits one K-panel (see
+/// infer_step_batched's contract in the header). Quantized: one qgemm
+/// with the epilogue fused.
+void linear_batched(const float* x, const QuantMatrix* qw,
+                    std::span<const float> w, std::span<const float> b,
+                    float* y, std::size_t n, int in, int out, Epilogue ep) {
   const auto outz = static_cast<std::size_t>(out);
+  if (qw != nullptr && !qw->empty()) {
+    tensor::qgemm(x, *qw, b.empty() ? nullptr : b.data(), y, n, ep);
+    return;
+  }
   if (b.empty()) {
     std::fill(y, y + n * outz, 0.0f);
   } else {
@@ -271,6 +311,9 @@ void linear_batched(const float* x, std::span<const float> w,
     }
   }
   tensor::gemm_nn(x, w.data(), y, n, static_cast<std::size_t>(in), outz);
+  if (ep == Epilogue::kBiasGelu) {
+    for (std::size_t i = 0; i < n * outz; ++i) y[i] = gelu_approx(y[i]);
+  }
 }
 
 }  // namespace
@@ -293,38 +336,44 @@ void TransformerLM::infer_step(Cache& cache, int token,
   std::vector<float> ctx(static_cast<std::size_t>(C));
   std::vector<float> att(static_cast<std::size_t>(C));
   std::vector<float> ff(static_cast<std::size_t>(cfg_.d_ff));
-  std::vector<float> scores;
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     const Block& blk = blocks_[l];
+    const QuantBlock* qb = qblocks_.empty() ? nullptr : &qblocks_[l];
     // ln1
     h = x;
     layernorm_inplace(h.data(), blk.ln1_g.data(), blk.ln1_b.data(), C);
     // q,k,v for this position; append k,v to cache.
-    linear(h.data(), blk.wq.data(), blk.bq.data(), q.data(), C, C);
-    linear(h.data(), blk.wk.data(), blk.bk.data(), kv.data(), C, C);
+    linear1(h.data(), qb ? &qb->wq : nullptr, blk.wq.data(), blk.bq.data(),
+            q.data(), C, C, Epilogue::kBias);
+    linear1(h.data(), qb ? &qb->wk : nullptr, blk.wk.data(), blk.bk.data(),
+            kv.data(), C, C, Epilogue::kBias);
     cache.k[l].insert(cache.k[l].end(), kv.begin(), kv.end());
-    linear(h.data(), blk.wv.data(), blk.bv.data(), kv.data(), C, C);
+    linear1(h.data(), qb ? &qb->wv : nullptr, blk.wv.data(), blk.bv.data(),
+            kv.data(), C, C, Epilogue::kBias);
     cache.v[l].insert(cache.v[l].end(), kv.begin(), kv.end());
 
     // Attention over cached positions, per head.
     attend_row(q.data(), cache.k[l].data(), cache.v[l].data(), pos + 1, C, H,
-               hd, ctx.data(), scores);
-    linear(ctx.data(), blk.wo.data(), blk.bo.data(), att.data(), C, C);
+               hd, ctx.data());
+    linear1(ctx.data(), qb ? &qb->wo : nullptr, blk.wo.data(), blk.bo.data(),
+            att.data(), C, C, Epilogue::kBias);
     for (int i = 0; i < C; ++i) x[static_cast<std::size_t>(i)] += att[static_cast<std::size_t>(i)];
 
-    // MLP.
+    // MLP (GELU fused into the up-projection's epilogue).
     h = x;
     layernorm_inplace(h.data(), blk.ln2_g.data(), blk.ln2_b.data(), C);
-    linear(h.data(), blk.w1.data(), blk.b1.data(), ff.data(), C, cfg_.d_ff);
-    for (auto& f : ff) f = gelu_scalar(f);
-    linear(ff.data(), blk.w2.data(), blk.b2.data(), att.data(), cfg_.d_ff, C);
+    linear1(h.data(), qb ? &qb->w1 : nullptr, blk.w1.data(), blk.b1.data(),
+            ff.data(), C, cfg_.d_ff, Epilogue::kBiasGelu);
+    linear1(ff.data(), qb ? &qb->w2 : nullptr, blk.w2.data(), blk.b2.data(),
+            att.data(), cfg_.d_ff, C, Epilogue::kBias);
     for (int i = 0; i < C; ++i) x[static_cast<std::size_t>(i)] += att[static_cast<std::size_t>(i)];
   }
 
   layernorm_inplace(x.data(), lnf_g_.data(), lnf_b_.data(), C);
   logits.assign(static_cast<std::size_t>(cfg_.vocab), 0.0f);
-  linear(x.data(), lm_head_.data(), {}, logits.data(), C, cfg_.vocab);
+  linear1(x.data(), qlm_head_.empty() ? nullptr : &qlm_head_, lm_head_.data(),
+          {}, logits.data(), C, cfg_.vocab, Epilogue::kNone);
   ++cache.len;
 }
 
@@ -340,9 +389,17 @@ TransformerLM::BatchedCache TransformerLM::make_batched_cache(
   c.slot_stride = cfg_.max_seq * cfg_.d_model;
   const auto slab = static_cast<std::size_t>(capacity) *
                     static_cast<std::size_t>(c.slot_stride);
-  c.k.assign(static_cast<std::size_t>(cfg_.n_layers), std::vector<float>(slab));
-  c.v.assign(static_cast<std::size_t>(cfg_.n_layers), std::vector<float>(slab));
+  c.k.assign(static_cast<std::size_t>(cfg_.n_layers), AlignedVec<float>(slab));
+  c.v.assign(static_cast<std::size_t>(cfg_.n_layers), AlignedVec<float>(slab));
   c.len.assign(static_cast<std::size_t>(capacity), 0);
+  // Preallocate the step workspace at full width so decode steps are
+  // allocation-free regardless of how many slots each step feeds.
+  const auto cap = static_cast<std::size_t>(capacity);
+  const auto Cz = static_cast<std::size_t>(cfg_.d_model);
+  for (auto* buf : {&c.ws.x, &c.ws.h, &c.ws.q, &c.ws.kv, &c.ws.ctx, &c.ws.att}) {
+    buf->reserve(cap * Cz);
+  }
+  c.ws.ff.reserve(cap * static_cast<std::size_t>(cfg_.d_ff));
   return c;
 }
 
@@ -366,6 +423,12 @@ void TransformerLM::infer_step_batched(BatchedCache& cache,
     EVA_REQUIRE(tokens[i] >= 0 && tokens[i] < cfg_.vocab,
                 "infer_step_batched: bad token");
   }
+  // The vectorized kernels assume cache slabs on cache-line boundaries
+  // (make_batched_cache allocates them aligned; a moved-from or
+  // hand-built cache could violate this silently).
+  EVA_REQUIRE(!cache.k.empty() && is_kernel_aligned(cache.k[0].data()) &&
+                  is_kernel_aligned(cache.v[0].data()),
+              "infer_step_batched: cache slabs must be 64-byte aligned");
 
   auto& ws = cache.ws;
   ws.x.resize(n * Cz);
@@ -385,16 +448,17 @@ void TransformerLM::infer_step_batched(BatchedCache& cache,
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     const Block& blk = blocks_[l];
+    const QuantBlock* qb = qblocks_.empty() ? nullptr : &qblocks_[l];
     // ln1 per row, then fused q/k/v projections for all rows at once.
     ws.h = ws.x;
     for (std::size_t i = 0; i < n; ++i) {
       layernorm_inplace(ws.h.data() + i * Cz, blk.ln1_g.data(),
                         blk.ln1_b.data(), C);
     }
-    linear_batched(ws.h.data(), blk.wq.data(), blk.bq.data(), ws.q.data(), n,
-                   C, C);
-    linear_batched(ws.h.data(), blk.wk.data(), blk.bk.data(), ws.kv.data(), n,
-                   C, C);
+    linear_batched(ws.h.data(), qb ? &qb->wq : nullptr, blk.wq.data(),
+                   blk.bq.data(), ws.q.data(), n, C, C, Epilogue::kBias);
+    linear_batched(ws.h.data(), qb ? &qb->wk : nullptr, blk.wk.data(),
+                   blk.bk.data(), ws.kv.data(), n, C, C, Epilogue::kBias);
     for (std::size_t i = 0; i < n; ++i) {
       const int s = slots[i];
       float* dst = cache.k[l].data() +
@@ -403,8 +467,8 @@ void TransformerLM::infer_step_batched(BatchedCache& cache,
                    static_cast<std::size_t>(cache.len[static_cast<std::size_t>(s)]) * Cz;
       std::copy_n(ws.kv.data() + i * Cz, Cz, dst);
     }
-    linear_batched(ws.h.data(), blk.wv.data(), blk.bv.data(), ws.kv.data(), n,
-                   C, C);
+    linear_batched(ws.h.data(), qb ? &qb->wv : nullptr, blk.wv.data(),
+                   blk.bv.data(), ws.kv.data(), n, C, C, Epilogue::kBias);
     for (std::size_t i = 0; i < n; ++i) {
       const int s = slots[i];
       float* dst = cache.v[l].data() +
@@ -422,23 +486,24 @@ void TransformerLM::infer_step_batched(BatchedCache& cache,
       attend_row(ws.q.data() + i * Cz, cache.k[l].data() + base,
                  cache.v[l].data() + base,
                  cache.len[static_cast<std::size_t>(s)] + 1, C, H, hd,
-                 ws.ctx.data() + i * Cz, ws.scores);
+                 ws.ctx.data() + i * Cz);
     }
-    linear_batched(ws.ctx.data(), blk.wo.data(), blk.bo.data(), ws.att.data(),
-                   n, C, C);
+    linear_batched(ws.ctx.data(), qb ? &qb->wo : nullptr, blk.wo.data(),
+                   blk.bo.data(), ws.att.data(), n, C, C, Epilogue::kBias);
     for (std::size_t i = 0; i < n * Cz; ++i) ws.x[i] += ws.att[i];
 
-    // MLP, fused across rows.
+    // MLP, fused across rows (GELU fused into the up-projection).
     ws.h = ws.x;
     for (std::size_t i = 0; i < n; ++i) {
       layernorm_inplace(ws.h.data() + i * Cz, blk.ln2_g.data(),
                         blk.ln2_b.data(), C);
     }
-    linear_batched(ws.h.data(), blk.w1.data(), blk.b1.data(), ws.ff.data(), n,
-                   C, cfg_.d_ff);
-    for (auto& f : ws.ff) f = gelu_scalar(f);
-    linear_batched(ws.ff.data(), blk.w2.data(), blk.b2.data(), ws.att.data(),
-                   n, cfg_.d_ff, C);
+    linear_batched(ws.h.data(), qb ? &qb->w1 : nullptr, blk.w1.data(),
+                   blk.b1.data(), ws.ff.data(), n, C, cfg_.d_ff,
+                   Epilogue::kBiasGelu);
+    linear_batched(ws.ff.data(), qb ? &qb->w2 : nullptr, blk.w2.data(),
+                   blk.b2.data(), ws.att.data(), n, cfg_.d_ff, C,
+                   Epilogue::kBias);
     for (std::size_t i = 0; i < n * Cz; ++i) ws.x[i] += ws.att[i];
   }
 
@@ -446,8 +511,9 @@ void TransformerLM::infer_step_batched(BatchedCache& cache,
     layernorm_inplace(ws.x.data() + i * Cz, lnf_g_.data(), lnf_b_.data(), C);
   }
   logits.resize(n * static_cast<std::size_t>(cfg_.vocab));
-  linear_batched(ws.x.data(), lm_head_.data(), {}, logits.data(), n, C,
-                 cfg_.vocab);
+  linear_batched(ws.x.data(), qlm_head_.empty() ? nullptr : &qlm_head_,
+                 lm_head_.data(), {}, logits.data(), n, C, cfg_.vocab,
+                 Epilogue::kNone);
   for (std::size_t i = 0; i < n; ++i) {
     ++cache.len[static_cast<std::size_t>(slots[i])];
   }

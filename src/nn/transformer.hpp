@@ -11,16 +11,26 @@
 //    cache (one gemv per linear per token). O(d^2 + t*d) per token.
 //  * batched inference path — B in-flight sequences share one forward
 //    per decode step: every linear becomes a single (B,in)x(in,out)
-//    gemm_nn call, so the weight matrices stream from memory once per
+//    gemm call, so the weight matrices stream from memory once per
 //    step instead of once per sequence. Attention stays per-slot (each
 //    slot has its own cache length). This is the engine behind
 //    nn::BatchedDecoder (DESIGN.md "Batched KV-cache decoding").
+//
+// Both inference paths can additionally run on weight-quantized kernels:
+// set_inference_quant(kBf16 | kInt8) repacks every block linear and the
+// LM head into tensor::QuantMatrix form and the per-step linears route
+// through tensor::qgemm / qgemv with fused dequant+bias+GELU epilogues.
+// Training always reads the f32 tensors — repacked copies are
+// derived state, invalidated and rebuilt by load_from() and by calling
+// set_inference_quant again after mutating parameters.
 #pragma once
 
 #include <vector>
 
 #include "nn/config.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
+#include "util/aligned.hpp"
 
 namespace eva::nn {
 
@@ -50,6 +60,18 @@ class TransformerLM {
   /// Project hidden states (B,T,C) to logits (B*T,V) with the LM head.
   [[nodiscard]] tensor::Tensor lm_logits(const tensor::Tensor& hidden) const;
 
+  // --- Quantized inference -----------------------------------------------
+  /// One-time repack of the inference weights (every block linear + the
+  /// LM head) into the given quantized tier; subsequent infer_step /
+  /// infer_step_batched calls run on tensor::qgemv / qgemm with fused
+  /// epilogues. kF32 drops the packed copies and restores the exact
+  /// float path. Repacked weights are a snapshot: after mutating
+  /// parameters (training step, load_from is handled automatically),
+  /// call this again to refresh them. Not thread-safe against concurrent
+  /// inference — repack before handing the model to decoders.
+  void set_inference_quant(tensor::QuantKind kind);
+  [[nodiscard]] tensor::QuantKind inference_quant() const { return qkind_; }
+
   // --- KV-cache inference ------------------------------------------------
   struct Cache {
     // Per layer: keys/values appended per step, each step d_model floats
@@ -70,19 +92,23 @@ class TransformerLM {
   /// position t starts at (s * max_seq + t) * d_model, head-major within
   /// the position — the same per-position layout as Cache, so the
   /// attention inner loops are shared between the two paths. Slots are
-  /// recycled by resetting their length (continuous batching).
+  /// recycled by resetting their length (continuous batching). Slabs and
+  /// the step workspace are 64-byte aligned (util/aligned.hpp) for the
+  /// vectorized kernels; infer_step_batched asserts this.
   struct BatchedCache {
     int capacity = 0;
-    int slot_stride = 0;                   // max_seq * d_model
-    std::vector<std::vector<float>> k, v;  // per layer: capacity*slot_stride
-    std::vector<int> len;                  // cached positions per slot
+    int slot_stride = 0;                 // max_seq * d_model
+    std::vector<AlignedVec<float>> k, v;  // per layer: capacity*slot_stride
+    std::vector<int> len;                // cached positions per slot
 
     /// Recycle a slot for a fresh sequence (keeps the allocation).
     void reset_slot(int s) { len[static_cast<std::size_t>(s)] = 0; }
 
-    // Step workspace, reused across infer_step_batched calls.
+    // Step workspace, sized for `capacity` rows up front and reused
+    // across infer_step_batched calls (the decode loop never allocates
+    // after the cache is built).
     struct Workspace {
-      std::vector<float> x, h, q, kv, ctx, att, ff, scores;
+      AlignedVec<float> x, h, q, kv, ctx, att, ff;
     };
     Workspace ws;
   };
@@ -95,18 +121,21 @@ class TransformerLM {
   /// Slots must be distinct; n <= capacity.
   ///
   /// Numerics: each row's result is independent of which other slots are
-  /// stepped alongside it (per-row reduction order in gemm_nn is fixed by
-  /// the shapes alone), which is what makes BatchedDecoder's output
-  /// invariant to batch width. It also matches infer_step bitwise
-  /// whenever every linear's K dimension fits a single gemm K-panel
-  /// (K <= 256: all shipped configs except paper_scale, which drifts
-  /// within float tolerance only).
+  /// stepped alongside it (per-row reduction order in gemm_nn / qgemm is
+  /// fixed by the shapes alone), which is what makes BatchedDecoder's
+  /// output invariant to batch width — in both the f32 and quantized
+  /// tiers. It also matches infer_step bitwise whenever every linear's
+  /// K dimension fits a single gemm K-panel (K <= 256: all shipped
+  /// configs except paper_scale, which drifts within float tolerance
+  /// only).
   void infer_step_batched(BatchedCache& cache, const std::vector<int>& slots,
                           const std::vector<int>& tokens,
                           std::vector<float>& logits) const;
 
   /// Copy all parameter values from another model of identical config
-  /// (snapshotting the reference model for PPO/DPO).
+  /// (snapshotting the reference model for PPO/DPO). Re-runs the
+  /// inference repack when one is active, so quantized decoding tracks
+  /// the new weights.
   void load_from(const TransformerLM& other);
 
  private:
@@ -115,6 +144,12 @@ class TransformerLM {
     tensor::Tensor wq, bq, wk, bk, wv, bv, wo, bo;
     tensor::Tensor ln2_g, ln2_b;
     tensor::Tensor w1, b1, w2, b2;
+  };
+
+  /// Quantized snapshots of one block's six linear weight matrices
+  /// (biases and layernorm params stay f32 — they are O(d) per token).
+  struct QuantBlock {
+    tensor::QuantMatrix wq, wk, wv, wo, w1, w2;
   };
 
   [[nodiscard]] tensor::Tensor block_forward(const tensor::Tensor& x,
@@ -128,6 +163,10 @@ class TransformerLM {
   std::vector<Block> blocks_;
   tensor::Tensor lnf_g_, lnf_b_;
   tensor::Tensor lm_head_;   // (C, V)
+
+  tensor::QuantKind qkind_ = tensor::QuantKind::kF32;
+  std::vector<QuantBlock> qblocks_;  // empty unless qkind_ != kF32
+  tensor::QuantMatrix qlm_head_;
 };
 
 }  // namespace eva::nn

@@ -7,6 +7,8 @@
 // Environment:
 //   EVA_SERVE_PORT          listen port (default 7077; 0 = ephemeral)
 //   EVA_SERVE_QUEUE_MAX     admission queue bound (default 64)
+//   EVA_QUANT               inference weight tier: int8 (default) | bf16 | f32
+//   EVA_GEMM_BACKEND        kernel backend the GEMMs dispatch to (cpu)
 //   EVA_METRICS_FLUSH_SEC   periodic metrics export interval
 //   EVA_METRICS_FILE        metrics export target (obs layer)
 //   EVA_FAULT               fault injection spec (serve_accept, ...)
@@ -61,7 +63,9 @@ int main(int argc, char** argv) {
   const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
   Rng rng(1234);
   const nn::ModelConfig mcfg = nn::ModelConfig::bench_scale(tok.vocab_size());
-  const nn::TransformerLM model(mcfg, rng);
+  // Non-const: GenerationService repacks the inference weights into the
+  // configured quantized tier (EVA_QUANT selects; default int8).
+  nn::TransformerLM model(mcfg, rng);
 
   try {
     serve::GenerationService service(model, tok, cfg);

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "circuit/canon.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/gemm_backend.hpp"
 #include "spice/engine.hpp"
 #include "spice/fom.hpp"
 #include "train/signal.hpp"
@@ -23,14 +25,35 @@ std::string_view status_name(Status s) {
   return "unknown";
 }
 
-GenerationService::GenerationService(const nn::TransformerLM& model,
+namespace {
+
+/// Repack the model into the configured inference tier before the
+/// decoder is built, so every decode this service runs uses it. Returns
+/// the model reference for use in the member initializer list.
+nn::TransformerLM& repacked(nn::TransformerLM& model, const ServiceConfig& cfg) {
+  if (model.inference_quant() != cfg.quant) {
+    model.set_inference_quant(cfg.quant);
+  }
+  return model;
+}
+
+}  // namespace
+
+GenerationService::GenerationService(nn::TransformerLM& model,
                                      const nn::Tokenizer& tok,
                                      ServiceConfig cfg)
-    : model_(&model),
+    : model_(&repacked(model, cfg)),
       tok_(&tok),
       cfg_(cfg),
       cache_(cfg.cache_capacity),
-      decoder_(model, tok, std::max(1, cfg.batch_width), cfg.sample) {}
+      decoder_(model, tok, std::max(1, cfg.batch_width), cfg.sample),
+      backend_c_(&obs::counter(
+          std::string("serve.backend.") +
+          tensor::quant_kind_name(cfg.quant))) {
+  obs::log_info("serve.backend",
+                {{"quant", tensor::quant_kind_name(cfg_.quant)},
+                 {"gemm_backend", tensor::gemm_backend_name()}});
+}
 
 GenerationService::~GenerationService() { drain(); }
 
@@ -171,6 +194,7 @@ void GenerationService::run() {
 
 Response GenerationService::execute(Pending& p, Rng& service_rng) {
   obs::Span span("serve.request");
+  backend_c_->add();
   Response r;
   nn::SampleOptions opts = cfg_.sample;
   opts.temperature = p.req.temperature;

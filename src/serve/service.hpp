@@ -46,6 +46,10 @@
 #include "nn/transformer.hpp"
 #include "serve/result_cache.hpp"
 
+namespace eva::obs {
+class Counter;
+}
+
 namespace eva::serve {
 
 enum class Priority : int { kHigh = 0, kNormal = 1, kLow = 2 };
@@ -104,13 +108,22 @@ struct ServiceConfig {
   bool evaluate_fom = true;        // run SPICE FoM on valid topologies
   double retry_after_ms = 50.0;    // backpressure hint
   nn::SampleOptions sample;        // temperature is overridden per request
+  /// Inference weight tier the service repacks the model into at
+  /// construction (EVA_QUANT overrides; "f32" opts out). Serving defaults
+  /// to int8: decode throughput is weight-bandwidth-bound and the
+  /// tolerance contract (DESIGN.md "Kernel backends & quantized
+  /// inference") covers the FoM pipeline downstream.
+  tensor::QuantKind quant = tensor::quant_kind_from_env(tensor::QuantKind::kInt8);
 };
 
 class GenerationService {
  public:
   /// The model and tokenizer must outlive the service. The decoder and
-  /// its slotted KV cache are allocated once, here.
-  GenerationService(const nn::TransformerLM& model, const nn::Tokenizer& tok,
+  /// its slotted KV cache are allocated once, here. The model reference
+  /// is mutable because construction repacks its inference weights into
+  /// cfg.quant (a one-time derived-state update; parameters are never
+  /// touched).
+  GenerationService(nn::TransformerLM& model, const nn::Tokenizer& tok,
                     ServiceConfig cfg = {});
   /// Drains (completes admitted work) if the scheduler is still running.
   ~GenerationService();
@@ -166,6 +179,7 @@ class GenerationService {
   ServiceConfig cfg_;
   ResultCache cache_;
   nn::BatchedDecoder decoder_;
+  obs::Counter* backend_c_;  // serve.backend.<tier>, bumped per request
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

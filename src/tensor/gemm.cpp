@@ -1,4 +1,7 @@
-#include "tensor/gemm.hpp"
+// The built-in "cpu" GEMM backend: register-tiled f32 kernels plus the
+// weight-quantized inference family. The public dispatch wrappers that
+// route through the active backend live in gemm_backend.cpp.
+#include "tensor/gemm_cpu.hpp"
 
 #include <algorithm>
 #include <vector>
@@ -7,7 +10,7 @@
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
-namespace eva::tensor {
+namespace eva::tensor::cpu {
 
 namespace {
 
@@ -181,4 +184,492 @@ void gemv(const float* x, const float* w, const float* bias, float* y,
   }
 }
 
-}  // namespace eva::tensor
+// ---------------------------------------------------------------------------
+// Quantized inference family (weight-only bf16/int8)
+// ---------------------------------------------------------------------------
+//
+// On AVX-512 VNNI + BF16 hardware these kernels run reduced-precision
+// multiplies natively: int8 quantizes each activation row to u8 (zero
+// point 128) and accumulates exact int32 dot products with vpdpbusd
+// (4 MACs/lane/instruction); bf16 rounds the activation row to bf16
+// pairs and drives vdpbf16ps (2 MACs/lane/instruction). Both read the
+// K-grouped packed payloads built at quantize() time. Elsewhere a
+// portable fallback dequantizes panels and reuses the f32 micro-kernel
+// (f32 activations — cross-platform results differ, within the same
+// documented tolerance vs f32).
+//
+// Determinism contract shared by every path: the work a given output
+// element (row r, column j) sees — activation quantization of row r,
+// reduction order over K, epilogue arithmetic — depends only on the
+// shapes, never on the batch size n or which tile the row landed in.
+// Rows are processed by one 8-row tile kernel plus a 1-row remainder
+// kernel whose per-row instruction sequence is identical, and qgemv is
+// exactly the 1-row kernel, which is what keeps batched and per-sequence
+// decode FLOAT_EQ-identical and sampled tokens width-invariant.
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512VNNI__) && defined(__AVX512BF16__)
+#define EVA_QKERNELS_AVX512 1
+#include <immintrin.h>
+#endif
+
+namespace {
+
+/// Output strip width of the quantized kernels (= packed column pad).
+constexpr std::size_t kQNr = kQuantColPad;
+
+#ifndef EVA_QKERNELS_AVX512
+
+/// Quantize one activation row to u8 with zero point 128, padding to K4
+/// (the vpdpbusd group-of-4 bound; padded lanes multiply zero weights).
+/// Returns the row scale; all-zero / non-finite rows get scale 0, which
+/// annihilates the output in the epilogue.
+inline float quantize_row_u8(const float* x, std::size_t K, std::size_t K4,
+                             std::uint8_t* xu) {
+  float amax = 0.0f;
+  for (std::size_t k = 0; k < K; ++k) amax = std::max(amax, std::fabs(x[k]));
+  if (!(amax > 0.0f) || !std::isfinite(amax)) {
+    std::fill_n(xu, K4, std::uint8_t{128});
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  for (std::size_t k = 0; k < K; ++k) {
+    const float q = std::clamp(std::nearbyint(x[k] * inv), -127.0f, 127.0f);
+    xu[k] = static_cast<std::uint8_t>(static_cast<int>(q) + 128);
+  }
+  std::fill(xu + K, xu + K4, std::uint8_t{128});
+  return amax / 127.0f;
+}
+
+/// int8 epilogue: undo the zero point (128 * colsum), apply the two
+/// scales, then bias/GELU. Shared by full strips, ragged tails, the
+/// 8-row tile path and qgemv, so all produce bit-identical values per
+/// column.
+__attribute__((noinline)) void store_strip_i8(const std::int32_t* acc, float ascale,
+                           const float* wscale, const std::int32_t* colsum,
+                           const float* bias, Epilogue ep, float* y,
+                           std::size_t nr) {
+  const bool add_bias = ep != Epilogue::kNone && bias != nullptr;
+  for (std::size_t j = 0; j < nr; ++j) {
+    float v = ascale *
+              (wscale[j] * static_cast<float>(acc[j] - 128 * colsum[j]));
+    if (add_bias) v += bias[j];
+    if (ep == Epilogue::kBiasGelu) v = gelu_approx(v);
+    y[j] = v;
+  }
+}
+
+/// f32-accumulator epilogue (bf16 and the portable fallback). `wscale`
+/// is null except for the fallback int8 path, where the raw x.q dot
+/// still needs the per-column rescale.
+__attribute__((noinline)) void store_strip_f32(const float* acc, const float* wscale,
+                            const float* bias, Epilogue ep, float* y,
+                            std::size_t nr) {
+  const bool add_bias = ep != Epilogue::kNone && bias != nullptr;
+  for (std::size_t j = 0; j < nr; ++j) {
+    float v = wscale != nullptr ? wscale[j] * acc[j] : acc[j];
+    if (add_bias) v += bias[j];
+    if (ep == Epilogue::kBiasGelu) v = gelu_approx(v);
+    y[j] = v;
+  }
+}
+
+#else  // EVA_QKERNELS_AVX512
+
+inline std::uint32_t load_u32(const void* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Vectorized u8 activation quantization (see the scalar variant above
+/// for the contract). vcvtps2dq under default MXCSR is round-to-
+/// nearest-even, the same rounding as the scalar nearbyint, so the
+/// 16-lane body and the scalar tail agree element for element; the
+/// split point depends only on K, never on the batch, preserving
+/// width-invariance.
+inline float quantize_row_u8(const float* x, std::size_t K, std::size_t K4,
+                             std::uint8_t* xu) {
+  __m512 vmax = _mm512_setzero_ps();
+  std::size_t k = 0;
+  for (; k + 16 <= K; k += 16) {
+    vmax = _mm512_max_ps(vmax, _mm512_abs_ps(_mm512_loadu_ps(x + k)));
+  }
+  float amax = _mm512_reduce_max_ps(vmax);
+  for (; k < K; ++k) amax = std::max(amax, std::fabs(x[k]));
+  if (!(amax > 0.0f) || !std::isfinite(amax)) {
+    std::fill_n(xu, K4, std::uint8_t{128});
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m512i lo = _mm512_set1_epi32(-127);
+  const __m512i hi = _mm512_set1_epi32(127);
+  const __m512i off = _mm512_set1_epi32(128);
+  k = 0;
+  for (; k + 16 <= K; k += 16) {
+    __m512i q = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(x + k), vinv));
+    q = _mm512_add_epi32(_mm512_min_epi32(_mm512_max_epi32(q, lo), hi), off);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(xu + k),
+                     _mm512_cvtepi32_epi8(q));
+  }
+  for (; k < K; ++k) {
+    const float q = std::clamp(std::nearbyint(x[k] * inv), -127.0f, 127.0f);
+    xu[k] = static_cast<std::uint8_t>(static_cast<int>(q) + 128);
+  }
+  std::fill(xu + K, xu + K4, std::uint8_t{128});
+  return amax / 127.0f;
+}
+
+/// int8 epilogue, vectorized: identical arithmetic and association as
+/// the scalar tail (`ascale * (wscale * float(acc - 128*colsum))`,
+/// then bias) — every op is elementwise, so lanes match scalar IEEE
+/// exactly. GELU runs as a second scalar pass over the stored strip
+/// (same input values, same gelu_approx).
+__attribute__((noinline)) void store_strip_i8(const std::int32_t* acc, float ascale,
+                           const float* wscale, const std::int32_t* colsum,
+                           const float* bias, Epilogue ep, float* y,
+                           std::size_t nr) {
+  const bool add_bias = ep != Epilogue::kNone && bias != nullptr;
+  const __m512 va = _mm512_set1_ps(ascale);
+  std::size_t j = 0;
+  for (; j + 16 <= nr; j += 16) {
+    const __m512i cs = _mm512_loadu_si512(colsum + j);
+    const __m512i ai =
+        _mm512_sub_epi32(_mm512_load_si512(acc + j), _mm512_slli_epi32(cs, 7));
+    __m512 v = _mm512_mul_ps(
+        va, _mm512_mul_ps(_mm512_loadu_ps(wscale + j), _mm512_cvtepi32_ps(ai)));
+    if (add_bias) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + j));
+    _mm512_storeu_ps(y + j, v);
+  }
+  for (; j < nr; ++j) {
+    float v = ascale *
+              (wscale[j] * static_cast<float>(acc[j] - 128 * colsum[j]));
+    if (add_bias) v += bias[j];
+    y[j] = v;
+  }
+  if (ep == Epilogue::kBiasGelu) {
+    for (j = 0; j < nr; ++j) y[j] = gelu_approx(y[j]);
+  }
+}
+
+/// f32-accumulator epilogue (bf16 path), vectorized like the int8 one.
+/// `wscale` is unused on this platform (no fallback rescale) but kept
+/// for signature parity with the portable build.
+__attribute__((noinline)) void store_strip_f32(const float* acc, const float* wscale,
+                            const float* bias, Epilogue ep, float* y,
+                            std::size_t nr) {
+  const bool add_bias = ep != Epilogue::kNone && bias != nullptr;
+  std::size_t j = 0;
+  for (; j + 16 <= nr; j += 16) {
+    __m512 v = _mm512_load_ps(acc + j);
+    if (wscale != nullptr) v = _mm512_mul_ps(_mm512_loadu_ps(wscale + j), v);
+    if (add_bias) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + j));
+    _mm512_storeu_ps(y + j, v);
+  }
+  for (; j < nr; ++j) {
+    float v = wscale != nullptr ? wscale[j] * acc[j] : acc[j];
+    if (add_bias) v += bias[j];
+    y[j] = v;
+  }
+  if (ep == Epilogue::kBiasGelu) {
+    for (j = 0; j < nr; ++j) y[j] = gelu_approx(y[j]);
+  }
+}
+
+/// Round one activation row to packed bf16 pairs (low half = even k),
+/// padding to kp pairs with zero. vcvtneps2bf16 is the same round-to-
+/// nearest-even as f32_to_bf16 (the scalar tail); the 16-lane split
+/// depends only on K, preserving width-invariance.
+inline void convert_row_bf16(const float* x, std::size_t K, std::size_t kp,
+                             std::uint32_t* xb) {
+  std::size_t k = 0;
+  for (; k + 16 <= K; k += 16) {
+    const __m256bh bh = _mm512_cvtneps_pbh(_mm512_loadu_ps(x + k));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xb + k / 2),
+                        reinterpret_cast<__m256i>(bh));
+  }
+  const std::size_t full = K / 2;
+  for (std::size_t p = k / 2; p < full; ++p) {
+    xb[p] = static_cast<std::uint32_t>(f32_to_bf16(x[2 * p])) |
+            (static_cast<std::uint32_t>(f32_to_bf16(x[2 * p + 1])) << 16);
+  }
+  std::size_t p = full;
+  if (K % 2 != 0) xb[p++] = f32_to_bf16(x[K - 1]);
+  for (; p < kp; ++p) xb[p] = 0;
+}
+
+/// MR rows x 32 cols of int32 accumulators over all K groups. `wp` is
+/// the packed q8p base offset to the strip ([kg][Np][4] layout, 64-byte
+/// aligned loads yield 16 cols x 4 K-steps); `wstride` = Np*4 bytes.
+template <int MR>
+inline void qtile_i8(const std::uint8_t* xu, std::size_t xstride,
+                     std::size_t kg, const std::int8_t* wp,
+                     std::size_t wstride, std::int32_t* acc) {
+  __m512i a[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    a[r][0] = _mm512_setzero_si512();
+    a[r][1] = _mm512_setzero_si512();
+  }
+  for (std::size_t q = 0; q < kg; ++q) {
+    const __m512i w0 = _mm512_load_si512(wp + q * wstride);
+    const __m512i w1 = _mm512_load_si512(wp + q * wstride + 64);
+    for (int r = 0; r < MR; ++r) {
+      const __m512i av = _mm512_set1_epi32(
+          static_cast<int>(load_u32(xu + r * xstride + q * 4)));
+      a[r][0] = _mm512_dpbusd_epi32(a[r][0], av, w0);
+      a[r][1] = _mm512_dpbusd_epi32(a[r][1], av, w1);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm512_store_si512(acc + r * kQNr, a[r][0]);
+    _mm512_store_si512(acc + r * kQNr + 16, a[r][1]);
+  }
+}
+
+/// MR rows x 32 cols of f32 accumulators via vdpbf16ps. `wp` is the
+/// packed bf16p strip base in uint16 units ([kp][Np][2] layout);
+/// `wstride` = Np*2 uint16s.
+template <int MR>
+inline void qtile_bf16(const std::uint32_t* xb, std::size_t xstride,
+                       std::size_t kp, const std::uint16_t* wp,
+                       std::size_t wstride, float* acc) {
+  __m512 a[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    a[r][0] = _mm512_setzero_ps();
+    a[r][1] = _mm512_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kp; ++p) {
+    const __m512i w0 = _mm512_load_si512(wp + p * wstride);
+    const __m512i w1 = _mm512_load_si512(wp + p * wstride + 32);
+    for (int r = 0; r < MR; ++r) {
+      const __m512i av =
+          _mm512_set1_epi32(static_cast<int>(xb[r * xstride + p]));
+      a[r][0] = _mm512_dpbf16_ps(a[r][0], reinterpret_cast<__m512bh>(av),
+                                 reinterpret_cast<__m512bh>(w0));
+      a[r][1] = _mm512_dpbf16_ps(a[r][1], reinterpret_cast<__m512bh>(av),
+                                 reinterpret_cast<__m512bh>(w1));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm512_store_ps(acc + r * kQNr, a[r][0]);
+    _mm512_store_ps(acc + r * kQNr + 16, a[r][1]);
+  }
+}
+
+#endif  // EVA_QKERNELS_AVX512
+
+#ifndef EVA_QKERNELS_AVX512
+
+/// Portable fallback: decode one kc x nr weight panel to raw f32 codes
+/// (leading dimension kNr) so the register-tiled micro-kernel can run
+/// unmodified on top; the int8 per-column rescale happens once in the
+/// epilogue.
+void decode_panel(const QuantMatrix& W, std::size_t kb, std::size_t kc,
+                  std::size_t nb, std::size_t nr, float* panel) {
+  const std::size_t N = W.cols;
+  if (W.kind == QuantKind::kBf16) {
+    for (std::size_t k = 0; k < kc; ++k) {
+      const std::uint16_t* src = W.bf16.data() + (kb + k) * N + nb;
+      float* dst = panel + k * kNr;
+      for (std::size_t j = 0; j < nr; ++j) dst[j] = bf16_to_f32(src[j]);
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < kc; ++k) {
+    const std::int8_t* src = W.q8.data() + (kb + k) * N + nb;
+    float* dst = panel + k * kNr;
+    for (std::size_t j = 0; j < nr; ++j) dst[j] = static_cast<float>(src[j]);
+  }
+}
+
+#endif  // EVA_QKERNELS_AVX512
+
+}  // namespace
+
+void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
+           std::size_t n, Epilogue ep) {
+  obs::Span span("qgemm");
+  const std::size_t K = W.rows;
+  const std::size_t N = W.cols;
+  count_flops(n, K, N);
+  if (W.empty() || n == 0) return;
+#ifdef EVA_QKERNELS_AVX512
+  const std::size_t Np = W.padded_cols;
+  const std::size_t strips = Np / kQNr;
+  if (W.kind == QuantKind::kInt8) {
+    const std::size_t kg = (K + 3) / 4;
+    const std::size_t K4 = kg * 4;
+    // thread_local: qgemm runs per decode step from the (serial) batched
+    // inference loop; reusing the activation scratch across steps keeps
+    // the hot path allocation-free after warmup.
+    static thread_local AlignedVec<std::uint8_t> xu;
+    static thread_local std::vector<float> ascale;
+    xu.resize(n * K4);
+    ascale.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      ascale[r] = quantize_row_u8(X + r * K, K, K4, xu.data() + r * K4);
+    }
+    parallel_chunks(
+        0, strips,
+        [&](std::size_t s0, std::size_t s1) {
+          alignas(64) std::int32_t acc[kMr * kQNr];
+          for (std::size_t s = s0; s < s1; ++s) {
+            const std::size_t nb = s * kQNr;
+            const std::size_t nr = std::min(kQNr, N - nb);
+            const std::int8_t* wp = W.q8p.data() + nb * 4;
+            const float* bp = bias != nullptr ? bias + nb : nullptr;
+            std::size_t m = 0;
+            for (; m + kMr <= n; m += kMr) {
+              qtile_i8<8>(xu.data() + m * K4, K4, kg, wp, Np * 4, acc);
+              for (std::size_t r = 0; r < kMr; ++r) {
+                store_strip_i8(acc + r * kQNr, ascale[m + r],
+                               W.scale.data() + nb, W.colsum.data() + nb, bp,
+                               ep, Y + (m + r) * N + nb, nr);
+              }
+            }
+            for (; m < n; ++m) {
+              qtile_i8<1>(xu.data() + m * K4, K4, kg, wp, Np * 4, acc);
+              store_strip_i8(acc, ascale[m], W.scale.data() + nb,
+                             W.colsum.data() + nb, bp, ep, Y + m * N + nb, nr);
+            }
+          }
+        },
+        1);
+    return;
+  }
+  const std::size_t kp = (K + 1) / 2;
+  static thread_local AlignedVec<std::uint32_t> xb;
+  xb.resize(n * kp);
+  for (std::size_t r = 0; r < n; ++r) {
+    convert_row_bf16(X + r * K, K, kp, xb.data() + r * kp);
+  }
+  parallel_chunks(
+      0, strips,
+      [&](std::size_t s0, std::size_t s1) {
+        alignas(64) float acc[kMr * kQNr];
+        for (std::size_t s = s0; s < s1; ++s) {
+          const std::size_t nb = s * kQNr;
+          const std::size_t nr = std::min(kQNr, N - nb);
+          const std::uint16_t* wp = W.bf16p.data() + nb * 2;
+          const float* bp = bias != nullptr ? bias + nb : nullptr;
+          std::size_t m = 0;
+          for (; m + kMr <= n; m += kMr) {
+            qtile_bf16<8>(xb.data() + m * kp, kp, kp, wp, Np * 2, acc);
+            for (std::size_t r = 0; r < kMr; ++r) {
+              store_strip_f32(acc + r * kQNr, nullptr, bp, ep,
+                              Y + (m + r) * N + nb, nr);
+            }
+          }
+          for (; m < n; ++m) {
+            qtile_bf16<1>(xb.data() + m * kp, kp, kp, wp, Np * 2, acc);
+            store_strip_f32(acc, nullptr, bp, ep, Y + m * N + nb, nr);
+          }
+        }
+      },
+      1);
+#else   // !EVA_QKERNELS_AVX512
+  parallel_chunks(
+      0, N,
+      [&](std::size_t n0, std::size_t n1) {
+        static thread_local std::vector<float> panel;
+        panel.resize(kKc * kNr);
+        for (std::size_t nb = n0; nb < n1; nb += kNr) {
+          const std::size_t nr = std::min(kNr, n1 - nb);
+          for (std::size_t r = 0; r < n; ++r) {
+            std::fill_n(Y + r * N + nb, nr, 0.0f);
+          }
+          for (std::size_t kb = 0; kb < K; kb += kKc) {
+            const std::size_t kc = std::min(kKc, K - kb);
+            decode_panel(W, kb, kc, nb, nr, panel.data());
+            for (std::size_t m = 0; m < n; m += kMr) {
+              const std::size_t mr = std::min(kMr, n - m);
+              micro_kernel(kc, X + m * K + kb, K, 1, panel.data(), kNr,
+                           Y + m * N + nb, N, mr, nr);
+            }
+          }
+          const float* ws =
+              W.kind == QuantKind::kInt8 ? W.scale.data() + nb : nullptr;
+          for (std::size_t r = 0; r < n; ++r) {
+            float* yrow = Y + r * N + nb;
+            store_strip_f32(yrow, ws, bias != nullptr ? bias + nb : nullptr,
+                            ep, yrow, nr);
+          }
+        }
+      },
+      kNr);
+#endif  // EVA_QKERNELS_AVX512
+}
+
+void qgemv(const float* x, const QuantMatrix& W, const float* bias, float* y,
+           Epilogue ep) {
+  const std::size_t K = W.rows;
+  const std::size_t N = W.cols;
+  count_flops(1, K, N);
+  if (W.empty()) return;
+#ifdef EVA_QKERNELS_AVX512
+  // Exactly the 1-row tile of qgemm, strip by strip: identical
+  // activation quantization, reduction and epilogue arithmetic keep the
+  // per-sequence and batched decode paths FLOAT_EQ-identical.
+  const std::size_t Np = W.padded_cols;
+  const std::size_t strips = Np / kQNr;
+  if (W.kind == QuantKind::kInt8) {
+    const std::size_t kg = (K + 3) / 4;
+    const std::size_t K4 = kg * 4;
+    static thread_local AlignedVec<std::uint8_t> xu;
+    xu.resize(K4);
+    const float ascale = quantize_row_u8(x, K, K4, xu.data());
+    alignas(64) std::int32_t acc[kQNr];
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t nb = s * kQNr;
+      const std::size_t nr = std::min(kQNr, N - nb);
+      qtile_i8<1>(xu.data(), K4, kg, W.q8p.data() + nb * 4, Np * 4, acc);
+      store_strip_i8(acc, ascale, W.scale.data() + nb, W.colsum.data() + nb,
+                     bias != nullptr ? bias + nb : nullptr, ep, y + nb, nr);
+    }
+    return;
+  }
+  const std::size_t kp = (K + 1) / 2;
+  static thread_local AlignedVec<std::uint32_t> xb;
+  xb.resize(kp);
+  convert_row_bf16(x, K, kp, xb.data());
+  alignas(64) float facc[kQNr];
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t nb = s * kQNr;
+    const std::size_t nr = std::min(kQNr, N - nb);
+    qtile_bf16<1>(xb.data(), kp, kp, W.bf16p.data() + nb * 2, Np * 2, facc);
+    store_strip_f32(facc, nullptr, bias != nullptr ? bias + nb : nullptr, ep,
+                    y + nb, nr);
+  }
+#else   // !EVA_QKERNELS_AVX512
+  // Portable path: strip accumulation in the same per-column K order as
+  // the fallback qgemm's micro-kernel, then the shared epilogue.
+  for (std::size_t nb = 0; nb < N; nb += kNr) {
+    const std::size_t nr = std::min(kNr, N - nb);
+    float acc[kNr] = {};
+    if (W.kind == QuantKind::kBf16) {
+      for (std::size_t k = 0; k < K; ++k) {
+        const float av = x[k];
+        const std::uint16_t* wrow = W.bf16.data() + k * N + nb;
+        for (std::size_t j = 0; j < nr; ++j) {
+          acc[j] += av * bf16_to_f32(wrow[j]);
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < K; ++k) {
+        const float av = x[k];
+        const std::int8_t* wrow = W.q8.data() + k * N + nb;
+        for (std::size_t j = 0; j < nr; ++j) {
+          acc[j] += av * static_cast<float>(wrow[j]);
+        }
+      }
+    }
+    const float* ws =
+        W.kind == QuantKind::kInt8 ? W.scale.data() + nb : nullptr;
+    store_strip_f32(acc, ws, bias != nullptr ? bias + nb : nullptr, ep,
+                    y + nb, nr);
+  }
+#endif  // EVA_QKERNELS_AVX512
+}
+
+}  // namespace eva::tensor::cpu

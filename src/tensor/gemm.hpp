@@ -1,19 +1,37 @@
-// Blocked, vectorization-friendly GEMM kernel family.
+// Blocked, vectorization-friendly GEMM kernel family behind the runtime
+// backend seam.
 //
-// One register-tiled micro-kernel (MR x NR accumulator block, NR = one
-// cache line of floats) backs all matmul variants of the tensor engine
-// plus the KV-cache inference path's vector-matrix products. All
-// matrices are row-major float32 and every kernel *accumulates* into C
-// (C += ...), matching the autograd convention of += into grads.
+// These are the dispatch entry points the whole engine calls: each
+// routes through the active GemmBackendOps table (tensor/gemm_backend.hpp,
+// selected by EVA_GEMM_BACKEND / set_gemm_backend) and bumps the
+// per-backend tensor.gemm_backend_dispatch.<name> counter. The built-in
+// "cpu" backend is one register-tiled micro-kernel (MR x NR accumulator
+// block, NR = one cache line of floats) backing all matmul variants of
+// the tensor engine plus the KV-cache inference path's vector-matrix
+// products. All matrices are row-major float32 and the GEMM trio
+// *accumulates* into C (C += ...), matching the autograd convention of
+// += into grads.
 //
-// Threading: gemm_nn / gemm_nt partition over rows of C, gemm_tn over
-// columns of C (each thread owns a disjoint column stripe, so the
-// K-reduction needs no atomics or per-thread buffers). All dispatch via
-// eva::parallel_chunks, so they run inline under set_num_threads(1) or
-// when called from inside another parallel region.
+// The quantized family (qgemm/qgemv) is inference-only: weight-quantized
+// bf16/int8 matrices (tensor/quant.hpp) with a fused bias+activation
+// epilogue. These OVERWRITE their output. On AVX-512 VNNI/BF16 hardware
+// the multiplies run natively reduced-precision (int8: u8-quantized
+// activations + exact int32 vpdpbusd accumulation rescaled per column;
+// bf16: bf16-rounded activations + vdpbf16ps); elsewhere a portable
+// dequant-panel fallback computes in f32 with f32 activations. See
+// tensor/quant.hpp for the error model.
+//
+// Threading (cpu backend): gemm_nn / gemm_nt partition over rows of C,
+// gemm_tn and qgemm over columns of C (each thread owns a disjoint
+// column stripe, so the K-reduction needs no atomics or per-thread
+// buffers). All dispatch via eva::parallel_chunks, so they run inline
+// under set_num_threads(1) or when called from inside another parallel
+// region.
 #pragma once
 
 #include <cstddef>
+
+#include "tensor/quant.hpp"
 
 namespace eva::tensor {
 
@@ -35,5 +53,20 @@ void gemm_tn(const float* A, const float* B, float* C, std::size_t K,
 /// a single token step.
 void gemv(const float* x, const float* w, const float* bias, float* y,
           std::size_t in, std::size_t out);
+
+/// Y(n,out) ~= epilogue(X(n,in) @ dequant(W) [+ bias]) for a quantized
+/// weight matrix W(in,out), within the tier's documented error bound.
+/// Overwrites Y; bias must be non-null for the kBias/kBiasGelu
+/// epilogues. Per-row values are independent of n (a row's activation
+/// quantization, reduction order and epilogue are fixed by the shapes
+/// alone), preserving the batched decoder's width-invariance under
+/// quantization.
+void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
+           std::size_t n, Epilogue ep);
+
+/// One-row variant of qgemm, bit-identical to a qgemm row (it runs the
+/// same 1-row kernel): y(out) ~= epilogue(x @ dequant(W) [+ bias]).
+void qgemv(const float* x, const QuantMatrix& W, const float* bias, float* y,
+           Epilogue ep);
 
 }  // namespace eva::tensor

@@ -1,0 +1,121 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace eva::tensor {
+
+const char* quant_kind_name(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kF32: return "f32";
+    case QuantKind::kBf16: return "bf16";
+    case QuantKind::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+QuantKind parse_quant_kind(std::string_view name, QuantKind fallback) {
+  if (name == "f32") return QuantKind::kF32;
+  if (name == "bf16") return QuantKind::kBf16;
+  if (name == "int8") return QuantKind::kInt8;
+  return fallback;
+}
+
+QuantKind quant_kind_from_env(QuantKind fallback) {
+  const char* v = std::getenv("EVA_QUANT");
+  if (v == nullptr || *v == '\0') return fallback;
+  return parse_quant_kind(v, fallback);
+}
+
+namespace {
+
+/// Interleave the canonical row-major codes into the K-grouped kernel
+/// layout: groups of `group` consecutive K entries of one column land in
+/// adjacent elements ([k/group][padded_col][k%group]). Rows past `rows`
+/// and columns past `cols` pad with zero, which contributes nothing to
+/// the kernels' reductions.
+template <typename T>
+void pack_k_groups(const std::vector<T>& src, std::size_t rows,
+                   std::size_t cols, std::size_t padded_cols,
+                   std::size_t group, AlignedVec<T>& dst) {
+  const std::size_t kg = (rows + group - 1) / group;
+  dst.assign(kg * padded_cols * group, T{0});
+  for (std::size_t k = 0; k < rows; ++k) {
+    const T* row = src.data() + k * cols;
+    T* out = dst.data() + (k / group) * padded_cols * group + (k % group);
+    for (std::size_t j = 0; j < cols; ++j) out[j * group] = row[j];
+  }
+}
+
+}  // namespace
+
+QuantMatrix QuantMatrix::quantize(QuantKind kind, const float* w,
+                                  std::size_t rows, std::size_t cols) {
+  EVA_REQUIRE(kind != QuantKind::kF32, "quantize: kF32 is the unpacked tier");
+  QuantMatrix m;
+  m.kind = kind;
+  m.rows = rows;
+  m.cols = cols;
+  m.padded_cols = (cols + kQuantColPad - 1) / kQuantColPad * kQuantColPad;
+  const std::size_t n = rows * cols;
+  if (kind == QuantKind::kBf16) {
+    m.bf16.resize(n);
+    for (std::size_t i = 0; i < n; ++i) m.bf16[i] = f32_to_bf16(w[i]);
+    pack_k_groups(m.bf16, rows, cols, m.padded_cols, 2, m.bf16p);
+    return m;
+  }
+  m.q8.resize(n);
+  m.scale.assign(cols, 0.0f);
+  m.colsum.assign(cols, 0);
+  // Pass 1: per-column absolute maxima.
+  std::vector<float> amax(cols, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      amax[c] = std::max(amax[c], std::fabs(row[c]));
+    }
+  }
+  // Zero columns (and columns poisoned by non-finite values) quantize
+  // to scale 0 + all-zero codes: dequantization reproduces exact zeros
+  // and the kernels' per-column rescale annihilates the output.
+  std::vector<float> inv(cols, 0.0f);
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (!(amax[c] > 0.0f) || !std::isfinite(amax[c])) continue;
+    m.scale[c] = amax[c] / 127.0f;
+    inv[c] = 1.0f / m.scale[c];
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    std::int8_t* out = m.q8.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (inv[c] == 0.0f) {
+        out[c] = 0;
+        continue;
+      }
+      const float q = std::nearbyint(row[c] * inv[c]);
+      out[c] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+      m.colsum[c] += out[c];
+    }
+  }
+  pack_k_groups(m.q8, rows, cols, m.padded_cols, 4, m.q8p);
+  return m;
+}
+
+void QuantMatrix::dequantize(float* out) const {
+  const std::size_t n = rows * cols;
+  if (kind == QuantKind::kBf16) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = bf16_to_f32(bf16[i]);
+    return;
+  }
+  EVA_REQUIRE(kind == QuantKind::kInt8, "dequantize: no payload for kF32");
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] = static_cast<float>(q8[r * cols + c]) * scale[c];
+    }
+  }
+}
+
+}  // namespace eva::tensor

@@ -1,0 +1,60 @@
+// Cache-line-aligned vector storage for kernel-facing buffers.
+//
+// The GEMM micro-kernels and the fused attention step stream rows of the
+// KV slabs and step workspace with vector loads; 64-byte alignment keeps
+// every row load on the fast path (no cache-line-straddling accesses) on
+// AVX2/AVX-512 and makes the alignment assumption checkable instead of
+// accidental. AlignedVec is a std::vector with a 64-byte-aligned
+// allocator, so all the usual vector idioms (resize, assign, data())
+// keep working at call sites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace eva {
+
+inline constexpr std::size_t kKernelAlign = 64;  // one cache line
+
+template <typename T, std::size_t Align = kKernelAlign>
+struct AlignedAlloc {
+  using value_type = T;
+
+  // Explicit rebind: allocator_traits cannot synthesize one because
+  // Align is a non-type template parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAlloc<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+/// True when `p` sits on an `align`-byte boundary (null counts as
+/// aligned: an empty buffer has no rows to misload).
+[[nodiscard]] inline bool is_kernel_aligned(const void* p,
+                                            std::size_t align = kKernelAlign) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+}  // namespace eva
