@@ -252,8 +252,9 @@ void bm_sample_batch_decoder(benchmark::State& state, tensor::QuantKind quant) {
   state.SetItemsProcessed(tokens);
   state.SetLabel(tensor::quant_kind_name(quant));
 }
-// The shipped serving configuration: int8 weight-quantized decode
-// (EVA_QUANT can override the tier the same way it does in serving).
+// The quantized decode trajectory: int8 weight-quantized by default
+// here (EVA_QUANT overrides the tier). Serving itself defaults to f32;
+// this family tracks what the opt-in quantized tier buys.
 void BM_SampleBatchDecoder(benchmark::State& state) {
   bm_sample_batch_decoder(
       state, tensor::quant_kind_from_env(tensor::QuantKind::kInt8));
@@ -397,7 +398,7 @@ const PairedServeWindow& paired_serve_window(int width) {
 
   const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
   // Weight seed 99 + request seed 1364 is a scanned pair whose 8-topology
-  // batch holds 4 simulatable circuits under the int8 serving default
+  // batch holds 4 simulatable circuits under the int8 tier
   // (the deepest valid fraction found in a 4k-seed scan with the VNNI
   // kernels), so the validity + FoM evaluation the cache memoizes
   // actually runs: an arbitrary untrained-weight batch is almost
@@ -419,7 +420,7 @@ const PairedServeWindow& paired_serve_window(int width) {
   scfg.sample.temperature = 0.9f;
   scfg.sample.top_k = 12;
   scfg.sample.max_len = 32;
-  scfg.quant = tensor::QuantKind::kInt8;  // the serving default
+  scfg.quant = tensor::QuantKind::kInt8;  // the opt-in quantized tier
   serve::GenerationService service_i8(model_i8, tok, scfg);
   scfg.quant = tensor::QuantKind::kF32;  // unquantized baseline
   serve::GenerationService service_f32(model_f32, tok, scfg);

@@ -7,7 +7,7 @@
 // Environment:
 //   EVA_SERVE_PORT          listen port (default 7077; 0 = ephemeral)
 //   EVA_SERVE_QUEUE_MAX     admission queue bound (default 64)
-//   EVA_QUANT               inference weight tier: int8 (default) | bf16 | f32
+//   EVA_QUANT               inference weight tier: f32 (default) | bf16 | int8
 //   EVA_GEMM_BACKEND        kernel backend the GEMMs dispatch to (cpu)
 //   EVA_METRICS_FLUSH_SEC   periodic metrics export interval
 //   EVA_METRICS_FILE        metrics export target (obs layer)
@@ -63,8 +63,9 @@ int main(int argc, char** argv) {
   const nn::Tokenizer tok({4, 4, 2, 2, 2, 2, 2, 2});
   Rng rng(1234);
   const nn::ModelConfig mcfg = nn::ModelConfig::bench_scale(tok.vocab_size());
-  // Non-const: GenerationService repacks the inference weights into the
-  // configured quantized tier (EVA_QUANT selects; default int8).
+  // Non-const: GenerationService repacks the inference weights when a
+  // quantized tier is selected (EVA_QUANT=int8|bf16; default f32 leaves
+  // served output bit-identical to the unquantized path).
   nn::TransformerLM model(mcfg, rng);
 
   try {

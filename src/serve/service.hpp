@@ -109,11 +109,14 @@ struct ServiceConfig {
   double retry_after_ms = 50.0;    // backpressure hint
   nn::SampleOptions sample;        // temperature is overridden per request
   /// Inference weight tier the service repacks the model into at
-  /// construction (EVA_QUANT overrides; "f32" opts out). Serving defaults
-  /// to int8: decode throughput is weight-bandwidth-bound and the
-  /// tolerance contract (DESIGN.md "Kernel backends & quantized
-  /// inference") covers the FoM pipeline downstream.
-  tensor::QuantKind quant = tensor::quant_kind_from_env(tensor::QuantKind::kInt8);
+  /// construction. Defaults to f32 — bit-identical tokens/logprobs to the
+  /// pre-quantization serving path — so existing deployments see no
+  /// silent output change. Opt into the reduced-precision tiers with
+  /// EVA_QUANT=int8|bf16 (or set this field): decode throughput is
+  /// weight-bandwidth-bound and the tolerance contract (DESIGN.md
+  /// "Kernel backends & quantized inference") covers the FoM pipeline
+  /// downstream.
+  tensor::QuantKind quant = tensor::quant_kind_from_env(tensor::QuantKind::kF32);
 };
 
 class GenerationService {

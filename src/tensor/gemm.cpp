@@ -234,8 +234,12 @@ inline float quantize_row_u8(const float* x, std::size_t K, std::size_t K4,
   }
   const float inv = 127.0f / amax;
   for (std::size_t k = 0; k < K; ++k) {
+    // NaN elements slip past the amax reduction (std::max discards NaN),
+    // so guard the cast: non-finite q maps to -127, the value cvtps2dq +
+    // clamp produces in the AVX-512 kernels, keeping builds in agreement.
     const float q = std::clamp(std::nearbyint(x[k] * inv), -127.0f, 127.0f);
-    xu[k] = static_cast<std::uint8_t>(static_cast<int>(q) + 128);
+    const int qi = std::isfinite(q) ? static_cast<int>(q) : -127;
+    xu[k] = static_cast<std::uint8_t>(qi + 128);
   }
   std::fill(xu + K, xu + K4, std::uint8_t{128});
   return amax / 127.0f;
@@ -314,8 +318,13 @@ inline float quantize_row_u8(const float* x, std::size_t K, std::size_t K4,
                      _mm512_cvtepi32_epi8(q));
   }
   for (; k < K; ++k) {
+    // A NaN element in the tail slips past the amax reduction (std::max
+    // discards NaN), and casting NaN to int is UB. Map non-finite q to
+    // -127 — exactly what the 16-lane body computes (cvtps2dq yields
+    // INT_MIN, then the epi32 clamp) — so tail and body lanes agree.
     const float q = std::clamp(std::nearbyint(x[k] * inv), -127.0f, 127.0f);
-    xu[k] = static_cast<std::uint8_t>(static_cast<int>(q) + 128);
+    const int qi = std::isfinite(q) ? static_cast<int>(q) : -127;
+    xu[k] = static_cast<std::uint8_t>(qi + 128);
   }
   std::fill(xu + K, xu + K4, std::uint8_t{128});
   return amax / 127.0f;
@@ -510,6 +519,11 @@ void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
     for (std::size_t r = 0; r < n; ++r) {
       ascale[r] = quantize_row_u8(X + r * K, K, K4, xu.data() + r * K4);
     }
+    // Snapshot the scratch as plain pointers before the parallel region:
+    // thread_local names inside the lambda resolve to each pool worker's
+    // *own* (empty) vectors, not this thread's filled ones.
+    const std::uint8_t* xu_p = xu.data();
+    const float* as_p = ascale.data();
     parallel_chunks(
         0, strips,
         [&](std::size_t s0, std::size_t s1) {
@@ -521,16 +535,16 @@ void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
             const float* bp = bias != nullptr ? bias + nb : nullptr;
             std::size_t m = 0;
             for (; m + kMr <= n; m += kMr) {
-              qtile_i8<8>(xu.data() + m * K4, K4, kg, wp, Np * 4, acc);
+              qtile_i8<8>(xu_p + m * K4, K4, kg, wp, Np * 4, acc);
               for (std::size_t r = 0; r < kMr; ++r) {
-                store_strip_i8(acc + r * kQNr, ascale[m + r],
+                store_strip_i8(acc + r * kQNr, as_p[m + r],
                                W.scale.data() + nb, W.colsum.data() + nb, bp,
                                ep, Y + (m + r) * N + nb, nr);
               }
             }
             for (; m < n; ++m) {
-              qtile_i8<1>(xu.data() + m * K4, K4, kg, wp, Np * 4, acc);
-              store_strip_i8(acc, ascale[m], W.scale.data() + nb,
+              qtile_i8<1>(xu_p + m * K4, K4, kg, wp, Np * 4, acc);
+              store_strip_i8(acc, as_p[m], W.scale.data() + nb,
                              W.colsum.data() + nb, bp, ep, Y + m * N + nb, nr);
             }
           }
@@ -544,6 +558,8 @@ void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
   for (std::size_t r = 0; r < n; ++r) {
     convert_row_bf16(X + r * K, K, kp, xb.data() + r * kp);
   }
+  // Same thread_local snapshot as the int8 path above.
+  const std::uint32_t* xb_p = xb.data();
   parallel_chunks(
       0, strips,
       [&](std::size_t s0, std::size_t s1) {
@@ -555,14 +571,14 @@ void qgemm(const float* X, const QuantMatrix& W, const float* bias, float* Y,
           const float* bp = bias != nullptr ? bias + nb : nullptr;
           std::size_t m = 0;
           for (; m + kMr <= n; m += kMr) {
-            qtile_bf16<8>(xb.data() + m * kp, kp, kp, wp, Np * 2, acc);
+            qtile_bf16<8>(xb_p + m * kp, kp, kp, wp, Np * 2, acc);
             for (std::size_t r = 0; r < kMr; ++r) {
               store_strip_f32(acc + r * kQNr, nullptr, bp, ep,
                               Y + (m + r) * N + nb, nr);
             }
           }
           for (; m < n; ++m) {
-            qtile_bf16<1>(xb.data() + m * kp, kp, kp, wp, Np * 2, acc);
+            qtile_bf16<1>(xb_p + m * kp, kp, kp, wp, Np * 2, acc);
             store_strip_f32(acc, nullptr, bp, ep, Y + m * N + nb, nr);
           }
         }

@@ -70,12 +70,17 @@ QuantMatrix QuantMatrix::quantize(QuantKind kind, const float* w,
   m.q8.resize(n);
   m.scale.assign(cols, 0.0f);
   m.colsum.assign(cols, 0);
-  // Pass 1: per-column absolute maxima.
+  // Pass 1: per-column absolute maxima. NaN must poison the column (the
+  // scale-0 contract below), so reduce with a comparison that lets NaN
+  // through — std::max would silently discard it and a NaN code would
+  // later hit an undefined float->int8 cast.
   std::vector<float> amax(cols, 0.0f);
   for (std::size_t r = 0; r < rows; ++r) {
     const float* row = w + r * cols;
     for (std::size_t c = 0; c < cols; ++c) {
-      amax[c] = std::max(amax[c], std::fabs(row[c]));
+      const float a = std::fabs(row[c]);
+      // `a > NaN` is false, so a poisoned amax is never overwritten.
+      if (a > amax[c] || std::isnan(a)) amax[c] = a;
     }
   }
   // Zero columns (and columns poisoned by non-finite values) quantize

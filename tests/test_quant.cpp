@@ -22,6 +22,7 @@
 #include "tensor/gemm_backend.hpp"
 #include "tensor/quant.hpp"
 #include "util/aligned.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -257,6 +258,77 @@ TEST(QuantKernels, QgemmRowsIndependentOfBatchSize) {
             << quant_kind_name(kind) << " row " << r << " col " << j;
       }
     }
+  }
+}
+
+TEST(QuantKernels, QgemmBitwiseStableUnderForcedPoolWorkers) {
+  // Regression: the AVX-512 paths fill activation scratch held in
+  // `static thread_local` vectors on the submitting thread; thread_local
+  // names are never captured by [&], so pool workers executing the
+  // parallel region used to resolve them to their own empty vectors and
+  // read through nullptr. Single-core machines (CI, this container) run
+  // parallel_chunks inline and never see it, so force real workers and
+  // a shape wide enough (64 strips) that they must pull chunks.
+  constexpr std::size_t kN = 16, kIn = 96, kOut = 2048;
+  const auto w = random_matrix(kIn * kOut, 51, 0.1f);
+  const auto x = random_matrix(kN * kIn, 52);
+  const auto bias = random_matrix(kOut, 53, 0.05f);
+  for (const QuantKind kind : {QuantKind::kBf16, QuantKind::kInt8}) {
+    const auto qw = QuantMatrix::quantize(kind, w.data(), kIn, kOut);
+    std::vector<float> y1(kN * kOut, -7.0f), y8(kN * kOut, 7.0f);
+    set_num_threads(1);
+    qgemm(x.data(), qw, bias.data(), y1.data(), kN, Epilogue::kBias);
+    set_num_threads(8);
+    // Several reps: whether a worker or the caller wins a chunk is a
+    // race, so one quiet pass proves little.
+    for (int rep = 0; rep < 8; ++rep) {
+      std::fill(y8.begin(), y8.end(), 7.0f);
+      qgemm(x.data(), qw, bias.data(), y8.data(), kN, Epilogue::kBias);
+      // Each output element is produced by exactly one thread with a
+      // shape-determined reduction order, so this is bitwise.
+      for (std::size_t i = 0; i < y1.size(); ++i) {
+        ASSERT_EQ(y1[i], y8[i]) << quant_kind_name(kind) << " rep " << rep
+                                << " elem " << i;
+      }
+    }
+    set_num_threads(0);
+  }
+}
+
+TEST(QuantKernels, NanActivationInScalarTailIsDefinedAndFinite) {
+  // K = 100 leaves a 4-element scalar tail after the 16-lane AVX-512
+  // body. A NaN there slips past the amax reduction (std::max discards
+  // NaN), which used to hit an undefined float->int cast; it must now
+  // map to the same code as the vector body's cvtps2dq+clamp and yield
+  // finite outputs.
+  constexpr std::size_t kN = 4, kIn = 100, kOut = 64;
+  const auto w = random_matrix(kIn * kOut, 61, 0.1f);
+  const auto bias = random_matrix(kOut, 62, 0.05f);
+  auto x = random_matrix(kN * kIn, 63);
+  x[1 * kIn + 98] = std::numeric_limits<float>::quiet_NaN();  // tail of row 1
+  const auto qw = QuantMatrix::quantize(QuantKind::kInt8, w.data(), kIn, kOut);
+  std::vector<float> y(kN * kOut, -7.0f);
+  qgemm(x.data(), qw, bias.data(), y.data(), kN, Epilogue::kBias);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i])) << "elem " << i;
+  }
+}
+
+TEST(Quant, Int8NanElementPoisonsColumnToZeroScale) {
+  // The documented contract: a column holding any non-finite weight
+  // quantizes to scale 0 + all-zero codes. NaN is the tricky case — a
+  // std::max amax reduction silently discards it.
+  constexpr std::size_t kRows = 8, kCols = 3;
+  auto w = random_matrix(kRows * kCols, 71);
+  w[4 * kCols + 1] = std::numeric_limits<float>::quiet_NaN();
+  const auto q = QuantMatrix::quantize(QuantKind::kInt8, w.data(), kRows, kCols);
+  EXPECT_EQ(q.scale[1], 0.0f);
+  EXPECT_GT(q.scale[0], 0.0f);
+  EXPECT_GT(q.scale[2], 0.0f);
+  std::vector<float> back(w.size());
+  q.dequantize(back.data());
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(back[r * kCols + 1], 0.0f) << "row " << r;
   }
 }
 
