@@ -653,6 +653,12 @@ std::vector<SampleResult> BatchedDecoder::decode(Rng& rng, int n) {
     obs::gauge("sampler.tokens_per_sec")
         .set(static_cast<double>(decoded_tokens) / dt);
   }
+  stats_.sequences = n;
+  stats_.tokens = decoded_tokens;
+  stats_.steps = steps;
+  stats_.occupancy =
+      steps > 0 ? occupancy_sum / static_cast<double>(steps) : 0.0;
+  stats_.duration_ms = dt * 1e3;
   return out;
 }
 

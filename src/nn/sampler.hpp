@@ -105,6 +105,21 @@ class BatchedDecoder {
   /// regardless of slot scheduling.
   [[nodiscard]] std::vector<SampleResult> decode(Rng& rng, int n);
 
+  /// Per-decode() accounting, refreshed by every decode() call. The
+  /// serving layer reads this to attribute the decode stage of a request
+  /// timeline (token count, batched forward steps, mean slot occupancy)
+  /// without re-deriving it from the results.
+  struct DecodeStats {
+    std::int64_t sequences = 0;  // sequences produced by the last decode()
+    std::int64_t tokens = 0;     // sampled actions (logprob-bearing tokens)
+    std::int64_t steps = 0;      // batched transformer forwards
+    double occupancy = 0.0;      // mean filled-slot fraction per step
+    double duration_ms = 0.0;    // wall clock of the last decode()
+  };
+  [[nodiscard]] const DecodeStats& last_decode_stats() const {
+    return stats_;
+  }
+
  private:
   const TransformerLM* model_;
   const Tokenizer* tok_;
@@ -118,6 +133,7 @@ class BatchedDecoder {
   std::vector<std::vector<float>> slot_scratch_;
   std::vector<int> slot_ids_, tokens_;
   std::vector<float> logits_;
+  DecodeStats stats_;
 };
 
 /// Typed outcome of decoding a sampled id sequence. Token sequences

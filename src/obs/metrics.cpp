@@ -25,6 +25,8 @@ struct Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<SlidingHistogram>, std::less<>>
+      sliding;
 };
 
 Registry& registry() {
@@ -107,6 +109,86 @@ void Histogram::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+SlidingHistogram::SlidingHistogram() : t0_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t SlidingHistogram::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+void SlidingHistogram::record(double v) { record_at(v, now_us()); }
+
+void SlidingHistogram::record_at(double v, std::uint64_t now) {
+  const std::uint64_t epoch = now / kBucketUs;
+  std::lock_guard<std::mutex> lk(mu_);
+  Bucket& b = buckets_[epoch % kBuckets];
+  if (b.epoch != epoch) {
+    // The bucket last held a window that rotated out >= kWindowUs ago.
+    b.epoch = epoch;
+    b.count = 0;
+    b.sum = 0.0;
+    b.samples.clear();
+  }
+  if (b.count == 0) {
+    b.min = b.max = v;
+  } else {
+    b.min = std::min(b.min, v);
+    b.max = std::max(b.max, v);
+  }
+  b.sum += v;
+  ++b.count;
+  if (b.samples.size() < kBucketSamples) {
+    b.samples.push_back(v);
+  } else {
+    // Deterministic replacement, same scheme as Histogram's reservoir.
+    b.samples[mix(b.count) % kBucketSamples] = v;
+  }
+  total_.record(v);
+}
+
+HistogramSnapshot SlidingHistogram::window_snapshot() const {
+  return window_snapshot_at(now_us());
+}
+
+HistogramSnapshot SlidingHistogram::window_snapshot_at(
+    std::uint64_t now) const {
+  const std::uint64_t epoch = now / kBucketUs;
+  HistogramSnapshot s;
+  std::vector<double> sample;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Bucket& b : buckets_) {
+      // Live buckets cover epochs (epoch - kBuckets, epoch].
+      if (b.epoch == ~0ull || b.count == 0) continue;
+      if (b.epoch > epoch || b.epoch + kBuckets <= epoch) continue;
+      if (s.count == 0) {
+        s.min = b.min;
+        s.max = b.max;
+      } else {
+        s.min = std::min(s.min, b.min);
+        s.max = std::max(s.max, b.max);
+      }
+      s.mean += b.sum;  // sum for now; divided below
+      s.count += b.count;
+      sample.insert(sample.end(), b.samples.begin(), b.samples.end());
+    }
+  }
+  if (s.count == 0) return HistogramSnapshot{};
+  s.mean /= static_cast<double>(s.count);
+  s.p50 = percentile(sample, 50.0);
+  s.p90 = percentile(sample, 90.0);
+  s.p99 = percentile(sample, 99.0);
+  return s;
+}
+
+void SlidingHistogram::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Bucket& b : buckets_) b = Bucket{};
+  total_.reset();
+}
+
 Counter& counter(std::string_view name) {
   Registry& r = registry();
   return lookup(r.counters, r.mu, name);
@@ -122,6 +204,51 @@ Histogram& histogram(std::string_view name) {
   return lookup(r.histograms, r.mu, name);
 }
 
+SlidingHistogram& sliding_histogram(std::string_view name) {
+  Registry& r = registry();
+  return lookup(r.sliding, r.mu, name);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters_with_prefix(
+    std::string_view prefix) {
+  Registry& r = registry();
+  std::vector<std::pair<std::string, const Counter*>> view;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& [name, c] : r.counters) {
+      if (name.size() >= prefix.size() &&
+          std::string_view(name).substr(0, prefix.size()) == prefix) {
+        view.emplace_back(name, c.get());
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(view.size());
+  for (const auto& [name, c] : view) out.emplace_back(name, c->value());
+  return out;
+}
+
+namespace {
+
+void snapshot_into(std::string& out, const HistogramSnapshot& s) {
+  out += "{\"count\": " + std::to_string(s.count);
+  out += ", \"min\": ";
+  json_number_into(out, s.min);
+  out += ", \"max\": ";
+  json_number_into(out, s.max);
+  out += ", \"mean\": ";
+  json_number_into(out, s.mean);
+  out += ", \"p50\": ";
+  json_number_into(out, s.p50);
+  out += ", \"p90\": ";
+  json_number_into(out, s.p90);
+  out += ", \"p99\": ";
+  json_number_into(out, s.p99);
+  out += "}";
+}
+
+}  // namespace
+
 std::string metrics_to_json() {
   Registry& r = registry();
   std::string out = "{\n  \"counters\": {";
@@ -130,11 +257,13 @@ std::string metrics_to_json() {
   std::vector<std::pair<std::string, const Counter*>> cs;
   std::vector<std::pair<std::string, const Gauge*>> gs;
   std::vector<std::pair<std::string, const Histogram*>> hs;
+  std::vector<std::pair<std::string, const SlidingHistogram*>> ss;
   {
     std::lock_guard<std::mutex> lk(r.mu);
     for (const auto& [k, v] : r.counters) cs.emplace_back(k, v.get());
     for (const auto& [k, v] : r.gauges) gs.emplace_back(k, v.get());
     for (const auto& [k, v] : r.histograms) hs.emplace_back(k, v.get());
+    for (const auto& [k, v] : r.sliding) ss.emplace_back(k, v.get());
   }
   bool first = true;
   for (const auto& [name, c] : cs) {
@@ -156,23 +285,22 @@ std::string metrics_to_json() {
   out += "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : hs) {
-    const HistogramSnapshot s = h->snapshot();
     out += first ? "\n    " : ",\n    ";
     first = false;
     json_string_into(out, name);
-    out += ": {\"count\": " + std::to_string(s.count);
-    out += ", \"min\": ";
-    json_number_into(out, s.min);
-    out += ", \"max\": ";
-    json_number_into(out, s.max);
-    out += ", \"mean\": ";
-    json_number_into(out, s.mean);
-    out += ", \"p50\": ";
-    json_number_into(out, s.p50);
-    out += ", \"p90\": ";
-    json_number_into(out, s.p90);
-    out += ", \"p99\": ";
-    json_number_into(out, s.p99);
+    out += ": ";
+    snapshot_into(out, h->snapshot());
+  }
+  out += "\n  },\n  \"sliding\": {";
+  first = true;
+  for (const auto& [name, h] : ss) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string_into(out, name);
+    out += ": {\"window\": ";
+    snapshot_into(out, h->window_snapshot());
+    out += ", \"total\": ";
+    snapshot_into(out, h->total_snapshot());
     out += "}";
   }
   out += "\n  }\n}\n";
@@ -196,6 +324,7 @@ void reset_metrics() {
   for (auto& [k, c] : r.counters) c->reset();
   for (auto& [k, g] : r.gauges) g->reset();
   for (auto& [k, h] : r.histograms) h->reset();
+  for (auto& [k, h] : r.sliding) h->reset();
 }
 
 namespace {

@@ -24,7 +24,9 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <utility>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -93,11 +95,68 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// Histogram with a rolling time window next to the since-start totals:
+/// the last kWindow seconds are covered by kBuckets rotating sub-second
+/// buckets (each holding count/sum/min/max plus a bounded deterministic
+/// sample set), so a long-lived server can answer "what is p99 *right
+/// now*" without the since-start distribution flattening every spike.
+///
+/// All clock-facing methods have an `_at(now_us)` twin taking explicit
+/// microseconds-since-construction, so tests drive window rotation
+/// without sleeping. Thread-safe (one mutex; recorded on per-request
+/// granularity, never inside elementwise loops).
+class SlidingHistogram {
+ public:
+  static constexpr std::uint64_t kBuckets = 10;
+  static constexpr std::uint64_t kBucketUs = 1'000'000;  // 1 s per bucket
+  static constexpr std::uint64_t kWindowUs = kBuckets * kBucketUs;
+
+  SlidingHistogram();
+
+  void record(double v);
+  void record_at(double v, std::uint64_t now_us);
+
+  /// Distribution of the last kWindowUs (empty window -> zero snapshot).
+  [[nodiscard]] HistogramSnapshot window_snapshot() const;
+  [[nodiscard]] HistogramSnapshot window_snapshot_at(
+      std::uint64_t now_us) const;
+
+  /// Since-start distribution (same semantics as Histogram).
+  [[nodiscard]] HistogramSnapshot total_snapshot() const {
+    return total_.snapshot();
+  }
+
+  void reset();
+
+ private:
+  struct Bucket {
+    std::uint64_t epoch = ~0ull;  // now_us / kBucketUs when last written
+    std::uint64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    std::vector<double> samples;  // bounded: kBucketSamples
+  };
+  static constexpr std::size_t kBucketSamples = 512;
+
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  mutable std::mutex mu_;
+  Bucket buckets_[kBuckets];
+  Histogram total_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 /// Registry lookup; creates on first use. Returned references are valid
 /// for the process lifetime.
 [[nodiscard]] Counter& counter(std::string_view name);
 [[nodiscard]] Gauge& gauge(std::string_view name);
 [[nodiscard]] Histogram& histogram(std::string_view name);
+[[nodiscard]] SlidingHistogram& sliding_histogram(std::string_view name);
+
+/// Name/value snapshot of every counter whose name starts with `prefix`
+/// (sorted by name). For grouped exports like the per-backend GEMM
+/// dispatch counts in the serve stats snapshot.
+[[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+counters_with_prefix(std::string_view prefix);
 
 /// Full registry as a JSON object (stable name order).
 [[nodiscard]] std::string metrics_to_json();

@@ -21,6 +21,8 @@ struct TraceEvent {
   const char* name;
   std::uint64_t ts_us;
   std::uint64_t dur_us;
+  std::uint64_t request_id;  // meaningful iff has_request
+  bool has_request;
 };
 
 /// Per-thread event buffer. Owned by the global state (so it survives
@@ -93,23 +95,45 @@ std::uint64_t trace_now_us() noexcept {
           .count());
 }
 
-void trace_record(const char* name, std::uint64_t t0_us) noexcept {
-  const std::uint64_t now = trace_now_us();
+namespace {
+
+void record_event(const TraceEvent& e) noexcept {
   ThreadBuf& buf = thread_buf();
   std::lock_guard<std::mutex> lk(buf.mu);
   if (buf.events.size() >= ThreadBuf::kMaxEvents) {
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(TraceEvent{name, t0_us, now - t0_us});
+  buf.events.push_back(e);
+}
+
+}  // namespace
+
+void trace_record(const char* name, std::uint64_t t0_us) noexcept {
+  const std::uint64_t now = trace_now_us();
+  record_event(TraceEvent{name, t0_us, now - t0_us, 0, false});
+}
+
+void trace_record_request(const char* name, std::uint64_t t0_us,
+                          std::uint64_t request_id) noexcept {
+  const std::uint64_t now = trace_now_us();
+  record_event(TraceEvent{name, t0_us, now - t0_us, request_id, true});
 }
 
 }  // namespace detail
 
 std::string trace_to_json() {
   TraceState& st = state();
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
+  // Two synthetic processes: pid 1 carries thread-lane events, pid 2
+  // carries request-lane events (tid = request id), so Perfetto groups
+  // per-request stage waterfalls separately from the thread timelines.
+  std::string out =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"threads\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+      "\"args\":{\"name\":\"requests\"}}";
+  bool first = false;
   std::uint64_t dropped = 0;
   std::lock_guard<std::mutex> lk(st.mu);
   for (const auto& buf : st.bufs) {
@@ -120,12 +144,22 @@ std::string trace_to_json() {
       first = false;
       out += "{\"name\":";
       json_string_into(out, e.name);
-      out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
-      out += std::to_string(buf->tid);
+      if (e.has_request) {
+        out += ",\"ph\":\"X\",\"pid\":2,\"tid\":";
+        out += std::to_string(e.request_id);
+      } else {
+        out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(buf->tid);
+      }
       out += ",\"ts\":";
       out += std::to_string(e.ts_us);
       out += ",\"dur\":";
       out += std::to_string(e.dur_us);
+      if (e.has_request) {
+        out += ",\"args\":{\"request_id\":";
+        out += std::to_string(e.request_id);
+        out += "}";
+      }
       out += "}";
     }
   }

@@ -28,17 +28,37 @@ void reload_trace_env();
 namespace detail {
 [[nodiscard]] std::uint64_t trace_now_us() noexcept;
 void trace_record(const char* name, std::uint64_t t0_us) noexcept;
+/// Request-attributed event: serialized under the synthetic "requests"
+/// process (pid 2) with tid = request_id, so Perfetto shows one lane per
+/// in-flight request, and with {"request_id":N} in the event args.
+void trace_record_request(const char* name, std::uint64_t t0_us,
+                          std::uint64_t request_id) noexcept;
 }  // namespace detail
 
 /// RAII span: measures construction -> destruction as one trace event on
 /// the current thread. `name` must outlive the program (string literal).
+///
+/// The two-argument form attributes the span to a request id: the event
+/// lands on that request's own lane (pid 2, tid = id) instead of the
+/// recording thread's, which is how the serving layer renders a
+/// per-request stage waterfall (queue -> decode -> verify -> write).
 class Span {
  public:
   explicit Span(const char* name) noexcept
       : name_(trace_enabled() ? name : nullptr),
         t0_(name_ ? detail::trace_now_us() : 0) {}
+  Span(const char* name, std::uint64_t request_id) noexcept
+      : name_(trace_enabled() ? name : nullptr),
+        t0_(name_ ? detail::trace_now_us() : 0),
+        request_id_(request_id),
+        has_request_(true) {}
   ~Span() {
-    if (name_) detail::trace_record(name_, t0_);
+    if (!name_) return;
+    if (has_request_) {
+      detail::trace_record_request(name_, t0_, request_id_);
+    } else {
+      detail::trace_record(name_, t0_);
+    }
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -46,6 +66,8 @@ class Span {
  private:
   const char* name_;
   std::uint64_t t0_;
+  std::uint64_t request_id_ = 0;
+  bool has_request_ = false;
 };
 
 /// All recorded events as a chrome "trace event format" JSON object:

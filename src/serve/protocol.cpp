@@ -194,14 +194,23 @@ std::optional<Priority> parse_priority(std::string_view name) {
 
 }  // namespace
 
-std::optional<Request> parse_request(std::string_view line,
+std::optional<ParsedLine> parse_line(std::string_view line,
                                      std::string* error) {
-  Request req;
+  ParsedLine out;
+  Request& req = out.req;
   std::string field_err;
   FlatJsonScanner scanner(line);
   const bool ok = scanner.scan([&](const FlatJsonScanner::Field& f) {
     using Kind = FlatJsonScanner::Field::Kind;
-    if (f.key == "type" && f.kind == Kind::kString) {
+    if (f.key == "cmd" && f.kind == Kind::kString) {
+      if (f.str == "stats") {
+        out.kind = ParsedLine::Kind::kStats;
+      } else if (f.str == "generate") {
+        out.kind = ParsedLine::Kind::kGenerate;
+      } else if (field_err.empty()) {
+        field_err = "unknown cmd: " + f.str;
+      }
+    } else if (f.key == "type" && f.kind == Kind::kString) {
       if (const auto t = parse_type(f.str)) {
         req.type = *t;
       } else if (field_err.empty()) {
@@ -228,15 +237,28 @@ std::optional<Request> parse_request(std::string_view line,
     if (error) *error = field_err.empty() ? scanner.error() : field_err;
     return std::nullopt;
   }
-  if (req.n < 1) {
+  if (out.kind == ParsedLine::Kind::kGenerate && req.n < 1) {
     if (error) *error = "n must be >= 1";
     return std::nullopt;
   }
-  return req;
+  return out;
 }
 
-std::string item_to_json(const Item& item) {
-  std::string out = "{\"netlist\": ";
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  const auto parsed = parse_line(line, error);
+  if (!parsed) return std::nullopt;
+  if (parsed->kind != ParsedLine::Kind::kGenerate) {
+    if (error) *error = "not a generation request";
+    return std::nullopt;
+  }
+  return parsed->req;
+}
+
+std::string item_to_json(const Item& item, std::uint64_t request_id) {
+  std::string out = "{\"request_id\": ";
+  obs::json_number_into(out, static_cast<std::int64_t>(request_id));
+  out += ", \"netlist\": ";
   obs::json_string_into(out, item.netlist);
   out += ", \"decoded\": ";
   out += item.decoded ? "true" : "false";
@@ -253,6 +275,9 @@ std::string item_to_json(const Item& item) {
 std::string done_to_json(const Response& r) {
   std::string out = "{\"done\": true, \"status\": ";
   obs::json_string_into(out, status_name(r.status));
+  out += ", \"request_id\": ";
+  obs::json_number_into(out,
+                        static_cast<std::int64_t>(r.timeline.request_id));
   out += ", \"items\": ";
   obs::json_number_into(out, static_cast<std::int64_t>(r.items.size()));
   out += ", \"latency_ms\": ";
@@ -260,6 +285,23 @@ std::string done_to_json(const Response& r) {
   if (r.status == Status::kRejected) {
     out += ", \"retry_after_ms\": ";
     obs::json_number_into(out, r.retry_after_ms);
+  }
+  // Stage attribution travels on every scheduled terminator (ok: all
+  // stages; timeout/cancelled: the queue wait that consumed the budget).
+  // Rejected/shutdown never entered the queue — no stages to report.
+  if (r.status == Status::kOk || r.status == Status::kTimeout ||
+      r.status == Status::kCancelled) {
+    out += ", \"tokens\": ";
+    obs::json_number_into(out, r.timeline.tokens);
+    out += ", \"stages\": {\"queue_ms\": ";
+    obs::json_number_into(out, r.timeline.ms(Stage::kQueue));
+    out += ", \"decode_ms\": ";
+    obs::json_number_into(out, r.timeline.ms(Stage::kDecode));
+    out += ", \"cache_ms\": ";
+    obs::json_number_into(out, r.timeline.ms(Stage::kCache));
+    out += ", \"verify_ms\": ";
+    obs::json_number_into(out, r.timeline.ms(Stage::kVerify));
+    out += "}";
   }
   out += "}";
   return out;

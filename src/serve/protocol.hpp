@@ -6,20 +6,28 @@
 //
 // (every field optional; defaults: OpAmp, n=1, T=1.0, no deadline,
 // normal priority, service-stream seed). The server answers with one
-// JSON line per generated topology
+// JSON line per generated topology, each echoing the request id
 //
-//   {"netlist":"M1 ...","decoded":true,"valid":true,"fom":231.8,
-//    "cached":false}
+//   {"request_id":17,"netlist":"M1 ...","decoded":true,"valid":true,
+//    "fom":231.8,"cached":false}
 //
-// followed by exactly one terminator line carrying the request status:
+// followed by exactly one terminator line carrying the request status,
+// id, and the per-stage latency attribution (RequestTimeline):
 //
-//   {"done":true,"status":"ok","items":4,"latency_ms":12.7}
-//   {"done":true,"status":"rejected","items":0,"retry_after_ms":50}
+//   {"done":true,"status":"ok","request_id":17,"items":4,
+//    "latency_ms":12.7,"tokens":188,
+//    "stages":{"queue_ms":0.4,"decode_ms":10.9,"cache_ms":0.1,
+//              "verify_ms":1.2}}
+//   {"done":true,"status":"rejected","request_id":18,"items":0,
+//    "latency_ms":0.0,"retry_after_ms":50}
 //
-// Malformed request lines get {"done":true,"status":"bad_request",
-// "error":"..."} and the connection stays open. The parser accepts only
-// flat objects (no nesting) — the protocol never needs more, and a
-// bounded grammar is the right posture for untrusted input.
+// An introspection command {"cmd":"stats"} (serve/stats.hpp) answers
+// with a single terminator line carrying the live metrics snapshot.
+// Malformed request lines — including unknown "cmd" values — get
+// {"done":true,"status":"bad_request","error":"..."} and the connection
+// stays open. The parser accepts only flat objects (no nesting) — the
+// protocol never needs more, and a bounded grammar is the right posture
+// for untrusted input.
 #pragma once
 
 #include <optional>
@@ -30,15 +38,31 @@
 
 namespace eva::serve {
 
-/// Parse one request line. On failure returns nullopt and, when `error`
+/// What one protocol line asks for: a generation request (the default)
+/// or a live stats snapshot ({"cmd":"stats"}).
+struct ParsedLine {
+  enum class Kind { kGenerate, kStats };
+  Kind kind = Kind::kGenerate;
+  Request req;  // meaningful when kind == kGenerate
+};
+
+/// Parse one protocol line. On failure returns nullopt and, when `error`
 /// is non-null, a human-readable reason. Never throws.
+[[nodiscard]] std::optional<ParsedLine> parse_line(std::string_view line,
+                                                   std::string* error);
+
+/// Parse one *generation* request line (parse_line restricted to
+/// Kind::kGenerate; a stats command is reported as an error).
 [[nodiscard]] std::optional<Request> parse_request(std::string_view line,
                                                    std::string* error);
 
-/// One generated topology as a JSON line (no trailing newline).
-[[nodiscard]] std::string item_to_json(const Item& item);
+/// One generated topology as a JSON line (no trailing newline). The
+/// request id is echoed so interleaved readers can attribute items.
+[[nodiscard]] std::string item_to_json(const Item& item,
+                                       std::uint64_t request_id = 0);
 
-/// The request terminator as a JSON line (no trailing newline).
+/// The request terminator as a JSON line (no trailing newline),
+/// carrying the request id and per-stage breakdown from r.timeline.
 [[nodiscard]] std::string done_to_json(const Response& r);
 
 /// Terminator for a request that never reached the service (parse

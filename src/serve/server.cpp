@@ -14,7 +14,10 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
+#include "serve/stats.hpp"
+#include "serve/timeline.hpp"
 #include "train/signal.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -179,20 +182,38 @@ void JsonLineServer::handle_connection(int fd) {
       if (line.empty()) continue;
 
       std::string err;
-      const auto req = parse_request(line, &err);
-      if (!req) {
+      const auto parsed = parse_line(line, &err);
+      if (!parsed) {
         open = send_line(fd, bad_request_json(err), slow);
         continue;
       }
-      auto ticket = service_->submit(*req);
-      Response resp = ticket.response.get();
-      for (const Item& item : resp.items) {
-        if (!send_line(fd, item_to_json(item), slow)) {
-          open = false;
-          break;
-        }
+      if (parsed->kind == ParsedLine::Kind::kStats) {
+        // Introspection: answered inline from the metrics registry and
+        // the service's live state — never queued behind generation.
+        open = send_line(fd, stats_response_json(*service_), slow);
+        continue;
       }
-      if (open) open = send_line(fd, done_to_json(resp), slow);
+      auto ticket = service_->submit(parsed->req);
+      Response resp = ticket.response.get();
+      // The response-write stage closes the request timeline: measured
+      // here (the only place that sees the socket), recorded into the
+      // serve.stage.write_ms window and the request's Perfetto lane.
+      static obs::SlidingHistogram& write_h =
+          obs::sliding_histogram("serve.stage.write_ms");
+      const auto w0 = std::chrono::steady_clock::now();
+      {
+        obs::Span write_span("serve.request.write", ticket.id);
+        for (const Item& item : resp.items) {
+          if (!send_line(fd, item_to_json(item, ticket.id), slow)) {
+            open = false;
+            break;
+          }
+        }
+        if (open) open = send_line(fd, done_to_json(resp), slow);
+      }
+      write_h.record(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - w0)
+                         .count());
     }
   }
   ::close(fd);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <type_traits>
 
 #include "circuit/canon.hpp"
 #include "obs/log.hpp"
@@ -24,6 +26,39 @@ std::string_view status_name(Status s) {
   }
   return "unknown";
 }
+
+double slow_warn_ms_from_env(double fallback) {
+  const char* v = std::getenv("EVA_SERVE_SLOW_MS");
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double ms = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(ms >= 0.0)) return fallback;
+  return ms;
+}
+
+namespace {
+
+/// Milliseconds between two steady-clock points.
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Wall-clock a callable into a timeline stage.
+template <class Fn>
+auto timed_stage(RequestTimeline& t, Stage s, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    t.add(s, ms_between(t0, std::chrono::steady_clock::now()));
+  } else {
+    auto r = fn();
+    t.add(s, ms_between(t0, std::chrono::steady_clock::now()));
+    return r;
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -92,9 +127,11 @@ GenerationService::Ticket GenerationService::submit(Request req) {
     std::lock_guard<std::mutex> lk(mu_);
     p->id = next_id_++;
     t.id = p->id;
+    p->timeline.request_id = p->id;
     if (draining_ || train::stop_requested()) {
       Response r;
       r.status = Status::kShutdown;
+      r.timeline.request_id = p->id;
       p->promise.set_value(std::move(r));
       return t;
     }
@@ -103,6 +140,7 @@ GenerationService::Ticket GenerationService::submit(Request req) {
       Response r;
       r.status = Status::kRejected;
       r.retry_after_ms = cfg_.retry_after_ms;
+      r.timeline.request_id = p->id;
       p->promise.set_value(std::move(r));
       return t;
     }
@@ -152,6 +190,20 @@ std::size_t GenerationService::queue_depth() const {
   return depth_locked();
 }
 
+std::array<std::size_t, kNumPriorities> GenerationService::queue_depths()
+    const {
+  std::array<std::size_t, kNumPriorities> d{};
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int i = 0; i < kNumPriorities; ++i) d[static_cast<std::size_t>(i)] = queues_[i].size();
+  return d;
+}
+
+double GenerationService::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
 void GenerationService::run() {
   static obs::Gauge& depth_g = obs::gauge("serve.queue_depth");
   static obs::Counter& timeouts = obs::counter("serve.timeouts");
@@ -177,6 +229,11 @@ void GenerationService::run() {
       queued_ids_.erase(p->id);
       depth_g.set(static_cast<double>(depth_locked()));
     }
+    // Queue wait ends at pickup, whatever the terminal status — a
+    // timeout's timeline is pure queue wait, which is exactly what makes
+    // it diagnosable.
+    p->timeline.add(Stage::kQueue,
+                    ms_between(p->admitted, std::chrono::steady_clock::now()));
     Response r;
     if (p->cancelled.load()) {
       r.status = Status::kCancelled;
@@ -193,8 +250,11 @@ void GenerationService::run() {
 }
 
 Response GenerationService::execute(Pending& p, Rng& service_rng) {
-  obs::Span span("serve.request");
+  // The request-attributed span puts this request's stage waterfall on
+  // its own Perfetto lane (pid "requests", tid = request id).
+  obs::Span span("serve.request", p.id);
   backend_c_->add();
+  RequestTimeline& tl = p.timeline;
   Response r;
   nn::SampleOptions opts = cfg_.sample;
   opts.temperature = p.req.temperature;
@@ -202,31 +262,51 @@ Response GenerationService::execute(Pending& p, Rng& service_rng) {
   // Seeded requests are idempotent (and cache-friendly); unseeded ones
   // consume the service stream.
   Rng req_rng = p.req.seed != 0 ? Rng(p.req.seed) : service_rng.fork();
-  auto results = decoder_.decode(req_rng, p.req.n);
+  std::vector<nn::SampleResult> results;
+  {
+    obs::Span decode_span("serve.request.decode", p.id);
+    results = timed_stage(tl, Stage::kDecode,
+                          [&] { return decoder_.decode(req_rng, p.req.n); });
+  }
+  const auto& dstats = decoder_.last_decode_stats();
+  tl.tokens = dstats.tokens;
+  tl.decode_steps = dstats.steps;
 
+  obs::Span verify_span("serve.request.verify", p.id);
   r.items.reserve(results.size());
   for (auto& res : results) {
     Item item;
     item.ids = std::move(res.ids);
-    auto dec = nn::ids_to_netlist_checked(*tok_, item.ids);
+    // Token->netlist decode and the SPICE-format dump are attributed to
+    // the decode stage: they are per-token, model-output-shaped work.
+    auto dec = timed_stage(tl, Stage::kDecode, [&] {
+      return nn::ids_to_netlist_checked(*tok_, item.ids);
+    });
     if (dec.netlist) {
       item.decoded = true;
       const circuit::Netlist& nl = *dec.netlist;
-      item.netlist = nl.to_spice();
-      const std::uint64_t key = ResultCache::key_for(
-          circuit::canonical_hash(nl), static_cast<int>(p.req.type));
-      if (const auto hit = cache_.get(key)) {
+      std::uint64_t key = 0;
+      timed_stage(tl, Stage::kDecode, [&] {
+        item.netlist = nl.to_spice();
+        key = ResultCache::key_for(circuit::canonical_hash(nl),
+                                   static_cast<int>(p.req.type));
+      });
+      const auto hit =
+          timed_stage(tl, Stage::kCache, [&] { return cache_.get(key); });
+      if (hit) {
         item.valid = hit->valid;
         item.fom = hit->fom;
         item.cached = true;
       } else {
         CachedEval ev;
-        ev.valid = spice::simulatable(nl);
-        if (ev.valid && cfg_.evaluate_fom) {
-          const auto perf = spice::evaluate_default(nl, p.req.type);
-          if (perf.ok && std::isfinite(perf.fom)) ev.fom = perf.fom;
-        }
-        cache_.put(key, ev);
+        timed_stage(tl, Stage::kVerify, [&] {
+          ev.valid = spice::simulatable(nl);
+          if (ev.valid && cfg_.evaluate_fom) {
+            const auto perf = spice::evaluate_default(nl, p.req.type);
+            if (perf.ok && std::isfinite(perf.fom)) ev.fom = perf.fom;
+          }
+        });
+        timed_stage(tl, Stage::kCache, [&] { cache_.put(key, ev); });
         item.valid = ev.valid;
         item.fom = ev.fom;
       }
@@ -239,14 +319,45 @@ Response GenerationService::execute(Pending& p, Rng& service_rng) {
 
 void GenerationService::finish(Pending& p, Response&& r) {
   static obs::Histogram& lat_h = obs::histogram("serve.latency_ms");
+  static obs::SlidingHistogram& e2e_h = obs::sliding_histogram("serve.e2e_ms");
   static obs::Counter& completed = obs::counter("serve.completed");
+  static obs::Counter& deadline_c = obs::counter("serve.deadline_exceeded");
   r.latency_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - p.admitted)
                      .count();
   r.finished_seq = finished_seq_.fetch_add(1) + 1;
-  if (r.status == Status::kOk) {
+  r.timeline = p.timeline;
+  const bool ok = r.status == Status::kOk;
+  if (ok) {
     lat_h.record(r.latency_ms);
+    e2e_h.record(r.latency_ms);
     completed.add();
+  }
+  record_timeline_metrics(r.timeline, /*all_stages=*/ok);
+
+  // Slow-request diagnosis from the log alone: a request that finished
+  // past its deadline, or past the configured p99 budget, warns with its
+  // id and the full stage breakdown. Rate-limited (first, then every
+  // 10th) so an overloaded server logs the shape of the problem, not a
+  // line per request.
+  const bool past_deadline =
+      p.has_deadline && std::chrono::steady_clock::now() > p.deadline;
+  const bool past_budget = cfg_.slow_warn_ms > 0.0 &&
+                           ok && r.latency_ms > cfg_.slow_warn_ms;
+  if (past_deadline) deadline_c.add();
+  if (past_deadline || past_budget) {
+    obs::log_every_n(
+        obs::LogLevel::kWarn, "serve.slow_request", 10,
+        {{"request_id", r.timeline.request_id},
+         {"status", status_name(r.status)},
+         {"latency_ms", r.latency_ms},
+         {"deadline_ms", p.req.deadline_ms},
+         {"budget_ms", cfg_.slow_warn_ms},
+         {"queue_ms", r.timeline.ms(Stage::kQueue)},
+         {"decode_ms", r.timeline.ms(Stage::kDecode)},
+         {"cache_ms", r.timeline.ms(Stage::kCache)},
+         {"verify_ms", r.timeline.ms(Stage::kVerify)},
+         {"tokens", r.timeline.tokens}});
   }
   p.promise.set_value(std::move(r));
 }

@@ -40,11 +40,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <array>
+
 #include "circuit/classify.hpp"
 #include "nn/sampler.hpp"
 #include "nn/tokenizer.hpp"
 #include "nn/transformer.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/timeline.hpp"
 
 namespace eva::obs {
 class Counter;
@@ -66,6 +69,10 @@ enum class Status {
 };
 
 [[nodiscard]] std::string_view status_name(Status s);
+
+/// Parse EVA_SERVE_SLOW_MS (fractional milliseconds; unset/invalid ->
+/// `fallback`). Exposed for the ServiceConfig default initializer.
+[[nodiscard]] double slow_warn_ms_from_env(double fallback);
 
 /// One generation request. `seed` selects a reproducible RNG stream for
 /// the request (0 = draw from the service's own stream): identical
@@ -97,6 +104,10 @@ struct Response {
   double retry_after_ms = 0.0;   // set when status == kRejected
   double latency_ms = 0.0;       // admission -> completion
   std::uint64_t finished_seq = 0;  // global completion order (1-based)
+  /// Per-stage latency attribution. timeline.request_id equals the
+  /// ticket id for every terminal status (including rejected/shutdown,
+  /// whose stage values are all zero).
+  RequestTimeline timeline;
 };
 
 struct ServiceConfig {
@@ -117,6 +128,12 @@ struct ServiceConfig {
   /// "Kernel backends & quantized inference") covers the FoM pipeline
   /// downstream.
   tensor::QuantKind quant = tensor::quant_kind_from_env(tensor::QuantKind::kF32);
+  /// Latency budget for the serve.slow_request WARN log: a completed
+  /// request slower than this (or one that finished past its own
+  /// deadline) logs its id + per-stage breakdown, rate-limited. 0
+  /// disables the budget check (deadline overruns still warn).
+  /// EVA_SERVE_SLOW_MS overrides.
+  double slow_warn_ms = slow_warn_ms_from_env(0.0);
 };
 
 class GenerationService {
@@ -158,7 +175,13 @@ class GenerationService {
   void drain();
 
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Queued requests per priority level (index = Priority value), for
+  /// the live stats snapshot.
+  [[nodiscard]] std::array<std::size_t, kNumPriorities> queue_depths() const;
+  /// Seconds since the service was constructed.
+  [[nodiscard]] double uptime_s() const;
   [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ResultCache& cache() const { return cache_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
 
  private:
@@ -170,6 +193,8 @@ class GenerationService {
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     std::atomic<bool> cancelled{false};
+    RequestTimeline timeline;  // request_id set at submit, stages filled
+                               // as the request flows through the stages
   };
 
   void run();
@@ -194,6 +219,8 @@ class GenerationService {
   std::mutex join_mu_;
   std::thread scheduler_;
   std::atomic<std::uint64_t> finished_seq_{0};
+  std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace eva::serve

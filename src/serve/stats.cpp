@@ -1,0 +1,135 @@
+#include "serve/stats.hpp"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/gemm_backend.hpp"
+#include "tensor/quant.hpp"
+
+namespace eva::serve {
+
+namespace {
+
+void snapshot_into(std::string& out, const obs::HistogramSnapshot& s) {
+  out += "{\"count\": " + std::to_string(s.count);
+  out += ", \"mean\": ";
+  obs::json_number_into(out, s.mean);
+  out += ", \"p50\": ";
+  obs::json_number_into(out, s.p50);
+  out += ", \"p90\": ";
+  obs::json_number_into(out, s.p90);
+  out += ", \"p99\": ";
+  obs::json_number_into(out, s.p99);
+  out += ", \"max\": ";
+  obs::json_number_into(out, s.max);
+  out += "}";
+}
+
+void sliding_into(std::string& out, std::string_view metric) {
+  const obs::SlidingHistogram& h = obs::sliding_histogram(metric);
+  out += "{\"window\": ";
+  snapshot_into(out, h.window_snapshot());
+  out += ", \"total\": ";
+  snapshot_into(out, h.total_snapshot());
+  out += "}";
+}
+
+void counter_field(std::string& out, std::string_view key,
+                   std::string_view metric, bool* first) {
+  out += *first ? "" : ", ";
+  *first = false;
+  obs::json_string_into(out, key);
+  out += ": ";
+  obs::json_number_into(out, obs::counter(metric).value());
+}
+
+}  // namespace
+
+std::string stats_json(const GenerationService& svc) {
+  std::string out = "{\"uptime_s\": ";
+  obs::json_number_into(out, svc.uptime_s());
+
+  // Per-stage and end-to-end latency distributions, rolling 10 s window
+  // next to since-start. These are the same sliding histograms the
+  // scheduler records into at finish(), so a loadgen run and a live
+  // stats poll see one source of truth.
+  out += ", \"stages\": {";
+  bool first = true;
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto s = static_cast<Stage>(i);
+    out += first ? "" : ", ";
+    first = false;
+    obs::json_string_into(out, stage_name(s));
+    out += ": ";
+    sliding_into(out, std::string("serve.stage.") +
+                          std::string(stage_name(s)) + "_ms");
+  }
+  out += ", \"e2e\": ";
+  sliding_into(out, "serve.e2e_ms");
+  out += "}";
+
+  const auto depths = svc.queue_depths();
+  out += ", \"queue_depth\": {\"high\": " + std::to_string(depths[0]);
+  out += ", \"normal\": " + std::to_string(depths[1]);
+  out += ", \"low\": " + std::to_string(depths[2]);
+  out += ", \"total\": " +
+         std::to_string(depths[0] + depths[1] + depths[2]) + "}";
+
+  out += ", \"batch_occupancy\": ";
+  obs::json_number_into(out, obs::gauge("sampler.batch_occupancy").value());
+  out += ", \"tokens_per_sec\": ";
+  obs::json_number_into(out, obs::gauge("sampler.tokens_per_sec").value());
+
+  const std::int64_t hits = obs::counter("serve.cache_hits").value();
+  const std::int64_t misses = obs::counter("serve.cache_misses").value();
+  out += ", \"cache\": {\"hits\": " + std::to_string(hits);
+  out += ", \"misses\": " + std::to_string(misses);
+  out += ", \"hit_rate\": ";
+  obs::json_number_into(out, hits + misses > 0
+                                 ? static_cast<double>(hits) /
+                                       static_cast<double>(hits + misses)
+                                 : 0.0);
+  out += ", \"size\": " + std::to_string(svc.cache().size());
+  out += ", \"capacity\": " + std::to_string(svc.cache().capacity()) + "}";
+
+  out += ", \"requests\": {";
+  first = true;
+  counter_field(out, "submitted", "serve.submitted", &first);
+  counter_field(out, "completed", "serve.completed", &first);
+  counter_field(out, "rejected", "serve.rejected", &first);
+  counter_field(out, "timeouts", "serve.timeouts", &first);
+  counter_field(out, "cancelled", "serve.cancelled", &first);
+  counter_field(out, "deadline_exceeded", "serve.deadline_exceeded", &first);
+  out += "}";
+
+  // Kernel-dispatch attribution: which backend and weight tier served
+  // the traffic (tensor.gemm_backend_dispatch.* is bumped per GEMM call,
+  // serve.backend.* once per request).
+  out += ", \"quant\": ";
+  obs::json_string_into(out, tensor::quant_kind_name(svc.config().quant));
+  out += ", \"backends\": {";
+  first = true;
+  constexpr std::string_view kDispatchPrefix = "tensor.gemm_backend_dispatch.";
+  for (const auto& [name, value] : obs::counters_with_prefix(kDispatchPrefix)) {
+    out += first ? "" : ", ";
+    first = false;
+    obs::json_string_into(out, name.substr(kDispatchPrefix.size()));
+    out += ": ";
+    obs::json_number_into(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string stats_response_json(const GenerationService& svc) {
+  std::string out = "{\"done\": true, \"status\": \"ok\", \"cmd\": \"stats\", "
+                    "\"stats\": ";
+  out += stats_json(svc);
+  out += "}";
+  return out;
+}
+
+}  // namespace eva::serve

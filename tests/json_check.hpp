@@ -1,0 +1,103 @@
+// Minimal JSON validator shared by the test binaries: a
+// recursive-descent structural check (no value extraction), enough to
+// catch unbalanced braces, missing commas, and broken string escaping
+// in the exporters without pulling in a JSON library. Header-only so
+// each test target compiles its own copy.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace eva::testutil {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        ++i;  // skip escaped char ("\uXXXX" leaves XXXX as literals — fine)
+      } else if (c == '"') {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    ws();
+    bool digit = false;
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E')) {
+      digit = digit || std::isdigit(static_cast<unsigned char>(s[i])) != 0;
+      ++i;
+    }
+    return i > start && digit;
+  }
+  bool literal(std::string_view word) {
+    ws();
+    if (s.substr(i, word.size()) == word) {
+      i += word.size();
+      return true;
+    }
+    return false;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': return string();
+      case '{': return object();
+      case '[': return array();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+};
+
+inline bool json_valid(std::string_view text) {
+  JsonParser p{text};
+  if (!p.value()) return false;
+  p.ws();
+  return p.i == text.size();
+}
+
+}  // namespace eva::testutil

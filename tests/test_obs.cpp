@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "json_check.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
@@ -18,100 +19,10 @@ namespace {
 
 using namespace eva;
 
-// --- minimal JSON validator -------------------------------------------------
-// Recursive-descent structural check (no value extraction): enough to
-// catch unbalanced braces, missing commas, and broken string escaping in
-// the exporters without pulling in a JSON library.
-
-struct JsonParser {
-  std::string_view s;
-  std::size_t i = 0;
-
-  void ws() {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
-                            s[i] == '\r')) {
-      ++i;
-    }
-  }
-  bool eat(char c) {
-    ws();
-    if (i < s.size() && s[i] == c) {
-      ++i;
-      return true;
-    }
-    return false;
-  }
-  bool string() {
-    if (!eat('"')) return false;
-    while (i < s.size()) {
-      const char c = s[i++];
-      if (c == '\\') {
-        if (i >= s.size()) return false;
-        ++i;  // skip escaped char ("\uXXXX" leaves XXXX as literals — fine)
-      } else if (c == '"') {
-        return true;
-      }
-    }
-    return false;
-  }
-  bool number() {
-    ws();
-    bool digit = false;
-    const std::size_t start = i;
-    while (i < s.size() &&
-           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
-            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
-            s[i] == 'E')) {
-      digit = digit || std::isdigit(static_cast<unsigned char>(s[i])) != 0;
-      ++i;
-    }
-    return i > start && digit;
-  }
-  bool literal(std::string_view word) {
-    ws();
-    if (s.substr(i, word.size()) == word) {
-      i += word.size();
-      return true;
-    }
-    return false;
-  }
-  bool value() {
-    ws();
-    if (i >= s.size()) return false;
-    switch (s[i]) {
-      case '"': return string();
-      case '{': return object();
-      case '[': return array();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    if (!eat('{')) return false;
-    if (eat('}')) return true;
-    do {
-      if (!string() || !eat(':') || !value()) return false;
-    } while (eat(','));
-    return eat('}');
-  }
-  bool array() {
-    if (!eat('[')) return false;
-    if (eat(']')) return true;
-    do {
-      if (!value()) return false;
-    } while (eat(','));
-    return eat(']');
-  }
-};
-
-bool json_valid(std::string_view text) {
-  JsonParser p{text};
-  if (!p.value()) return false;
-  p.ws();
-  return p.i == text.size();
-}
+// JSON validation lives in tests/json_check.hpp (shared with
+// test_serve.cpp, which validates the {"cmd":"stats"} snapshot with the
+// same parser).
+using testutil::json_valid;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -226,6 +137,107 @@ TEST(ObsMetrics, ConcurrentHistogramAndCounterFromPool) {
   set_num_threads(0);
   EXPECT_EQ(c.value(), static_cast<std::int64_t>(2 * n));
   EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(n));
+}
+
+TEST(ObsSliding, WindowSeesRecentSamplesTotalSeesAll) {
+  obs::SlidingHistogram h;
+  // Timestamps are injected (record_at/window_snapshot_at), so rotation
+  // is tested without sleeping through real wall-clock seconds.
+  h.record_at(1.0, 0);
+  h.record_at(2.0, obs::SlidingHistogram::kBucketUs);  // second bucket
+  const auto in_window =
+      h.window_snapshot_at(2 * obs::SlidingHistogram::kBucketUs);
+  EXPECT_EQ(in_window.count, 2u);
+  EXPECT_DOUBLE_EQ(in_window.min, 1.0);
+  EXPECT_DOUBLE_EQ(in_window.max, 2.0);
+
+  // Advance past the window: the first sample's bucket has rotated out.
+  const auto later = h.window_snapshot_at(
+      obs::SlidingHistogram::kWindowUs + obs::SlidingHistogram::kBucketUs / 2);
+  EXPECT_EQ(later.count, 1u);
+  EXPECT_DOUBLE_EQ(later.min, 2.0);
+
+  // Far in the future the window is empty, but the since-start
+  // histogram still remembers everything.
+  const auto empty =
+      h.window_snapshot_at(10 * obs::SlidingHistogram::kWindowUs);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(h.total_snapshot().count, 2u);
+}
+
+TEST(ObsSliding, EmptyWindowPercentilesAreZero) {
+  obs::SlidingHistogram h;
+  const auto snap = h.window_snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST(ObsSliding, BucketReuseResetsStaleEpoch) {
+  obs::SlidingHistogram h;
+  h.record_at(5.0, 0);
+  // Same bucket index one full window later: the stale epoch must be
+  // discarded, not merged.
+  h.record_at(7.0, obs::SlidingHistogram::kWindowUs);
+  const auto snap = h.window_snapshot_at(obs::SlidingHistogram::kWindowUs);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 7.0);
+  EXPECT_EQ(h.total_snapshot().count, 2u);
+}
+
+TEST(ObsSliding, PercentilesOverWindowSamples) {
+  obs::SlidingHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record_at(static_cast<double>(i), 0);
+  const auto snap = h.window_snapshot_at(0);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.p50, 50.0, 2.0);
+  EXPECT_NEAR(snap.p90, 90.0, 2.0);
+  EXPECT_NEAR(snap.p99, 99.0, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+}
+
+TEST(ObsSliding, ConcurrentRecordsFromPoolWorkersAreExact) {
+  obs::SlidingHistogram& h = obs::sliding_histogram("test.sliding_pool");
+  h.reset();
+  const std::size_t n = 2000;
+  set_num_threads(4);
+  parallel_for(0, n, [&](std::size_t i) {
+    h.record(static_cast<double>(i % 17));
+  });
+  set_num_threads(0);
+  // Aggregates are exact even past the per-bucket sample cap.
+  EXPECT_EQ(h.total_snapshot().count, static_cast<std::uint64_t>(n));
+  const auto win = h.window_snapshot();
+  EXPECT_EQ(win.count, static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(win.max, 16.0);
+  // Same name returns the same registered object.
+  EXPECT_EQ(&h, &obs::sliding_histogram("test.sliding_pool"));
+}
+
+TEST(ObsSliding, AppearsInMetricsJson) {
+  obs::sliding_histogram("test.sliding_json").record(3.0);
+  const std::string json = obs::metrics_to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"sliding\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.sliding_json\""), std::string::npos);
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+}
+
+TEST(ObsMetrics, CountersWithPrefixFiltersByName) {
+  obs::counter("test.prefix.alpha").add(3);
+  obs::counter("test.prefix.beta").add(5);
+  obs::counter("test.other").add(1);
+  const auto matched = obs::counters_with_prefix("test.prefix.");
+  ASSERT_EQ(matched.size(), 2u);
+  std::int64_t sum = 0;
+  for (const auto& [name, value] : matched) {
+    EXPECT_EQ(name.rfind("test.prefix.", 0), 0u) << name;
+    sum += value;
+  }
+  EXPECT_EQ(sum, 8);
 }
 
 TEST(ObsMetrics, MetricsJsonIsWellFormed) {
@@ -399,6 +411,30 @@ TEST(ObsTrace, SpansFromPoolWorkersProduceWellFormedChromeTrace) {
   EXPECT_NE(json.find("test.outer"), std::string::npos);
   EXPECT_NE(json.find("test.inner"), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(ObsTrace, RequestSpansGetTheirOwnLane) {
+  obs::clear_trace();
+  obs::set_trace_enabled(true);
+  {
+    obs::Span a("serve.request", 41u);
+    obs::Span b("serve.request.decode", 41u);
+  }
+  { obs::Span plain("test.thread_span"); }
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::trace_to_json();
+  EXPECT_TRUE(json_valid(json)) << json.substr(0, 512);
+  // Request-tagged spans land on synthetic pid 2 with tid = request id,
+  // so Perfetto renders one lane per request; the id also rides in args.
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":41"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"request_id\":41"), std::string::npos);
+  // Plain spans stay on the real-thread pid, and both process lanes are
+  // named via metadata events.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
   obs::clear_trace();
 }
 

@@ -29,10 +29,13 @@
 #include "nn/tokenizer.hpp"
 #include "nn/transformer.hpp"
 #include "obs/metrics.hpp"
+#include "json_check.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/stats.hpp"
+#include "serve/timeline.hpp"
 #include "train/signal.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
@@ -233,6 +236,82 @@ TEST(Service, LatencyHistogramRecordsCompletions) {
   EXPECT_GT(after, before);
 }
 
+// --- Request timelines (DESIGN.md "Request timelines & load harness") --------
+
+TEST(Timeline, StagesAttributeTheEndToEndLatency) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  Request req;
+  req.n = 2;
+  req.seed = 21;
+  auto t = f.service.submit(req);
+  Response r = t.response.get();
+  ASSERT_EQ(r.status, Status::kOk);
+
+  // The timeline carries the ticket's id and real decode work.
+  EXPECT_EQ(r.timeline.request_id, t.id);
+  EXPECT_GT(r.timeline.tokens, 0);
+  EXPECT_GT(r.timeline.decode_steps, 0);
+  EXPECT_GT(r.timeline.ms(Stage::kDecode), 0.0);
+
+  // queue + decode + cache + verify must explain the service-side
+  // latency: the stages are timed independently of latency_ms, so a
+  // large gap means a stage fell out of the attribution.
+  const double sum = r.timeline.service_sum_ms();
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LE(sum, r.latency_ms * 1.05 + 1.0);
+  EXPECT_GE(sum, r.latency_ms * 0.5 - 1.0);
+}
+
+TEST(Timeline, TimeoutIsAttributedToQueueWait) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  Request blocker;
+  blocker.n = 6;  // park a long decode in front
+  auto slow = f.service.submit(blocker);
+  Request req;
+  req.deadline_ms = 1.0;
+  auto t = f.service.submit(req);
+  Response r = t.response.get();
+  (void)slow.response.get();
+  ASSERT_EQ(r.status, Status::kTimeout);
+  // A timed-out request never decoded: its latency is pure queue wait,
+  // and the terminator still carries its id.
+  EXPECT_EQ(r.timeline.request_id, t.id);
+  EXPECT_GT(r.timeline.ms(Stage::kQueue), 0.0);
+  EXPECT_DOUBLE_EQ(r.timeline.ms(Stage::kDecode), 0.0);
+  // Completing past the deadline bumps the dedicated counter.
+  EXPECT_GT(obs::counter("serve.deadline_exceeded").value(), 0);
+}
+
+TEST(Timeline, StageNamesAndSlidingMetricsRecorded) {
+  EXPECT_EQ(stage_name(Stage::kQueue), "queue");
+  EXPECT_EQ(stage_name(Stage::kWrite), "write");
+  RequestTimeline tl;
+  tl.add(Stage::kDecode, 2.0);
+  tl.add(Stage::kDecode, 3.0);
+  tl.add(Stage::kVerify, 1.0);
+  EXPECT_DOUBLE_EQ(tl.ms(Stage::kDecode), 5.0);
+  EXPECT_DOUBLE_EQ(tl.service_sum_ms(), 6.0);
+
+  const auto before =
+      obs::sliding_histogram("serve.stage.decode_ms").total_snapshot().count;
+  record_timeline_metrics(tl, /*all_stages=*/true);
+  const auto after =
+      obs::sliding_histogram("serve.stage.decode_ms").total_snapshot().count;
+  EXPECT_EQ(after, before + 1);
+}
+
+TEST(Timeline, SlowWarnBudgetComesFromEnv) {
+  ::unsetenv("EVA_SERVE_SLOW_MS");
+  EXPECT_DOUBLE_EQ(slow_warn_ms_from_env(0.0), 0.0);
+  ::setenv("EVA_SERVE_SLOW_MS", "250", 1);
+  EXPECT_DOUBLE_EQ(slow_warn_ms_from_env(0.0), 250.0);
+  ::setenv("EVA_SERVE_SLOW_MS", "garbage", 1);
+  EXPECT_DOUBLE_EQ(slow_warn_ms_from_env(7.0), 7.0);
+  ::unsetenv("EVA_SERVE_SLOW_MS");
+}
+
 // --- ResultCache -------------------------------------------------------------
 
 TEST(ResultCacheTest, PutGetAndTypeSeparation) {
@@ -338,6 +417,111 @@ TEST(Protocol, EmitsItemAndTerminator) {
   EXPECT_NE(d.find("retry_after_ms"), std::string::npos);
 }
 
+TEST(Protocol, ParseLineDistinguishesStatsFromGenerate) {
+  std::string err;
+  const auto stats = parse_line("{\"cmd\": \"stats\"}", &err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  EXPECT_EQ(stats->kind, ParsedLine::Kind::kStats);
+
+  const auto gen = parse_line("{\"cmd\": \"generate\", \"n\": 2}", &err);
+  ASSERT_TRUE(gen.has_value()) << err;
+  EXPECT_EQ(gen->kind, ParsedLine::Kind::kGenerate);
+  EXPECT_EQ(gen->req.n, 2);
+
+  // Unknown commands are a parse error, not a silent default.
+  EXPECT_FALSE(parse_line("{\"cmd\": \"reboot\"}", &err).has_value());
+  EXPECT_NE(err.find("unknown cmd"), std::string::npos) << err;
+
+  // parse_request refuses a stats line: callers asking for a generation
+  // request must not receive default-constructed junk.
+  EXPECT_FALSE(parse_request("{\"cmd\": \"stats\"}", &err).has_value());
+}
+
+TEST(Protocol, TerminatorCarriesRequestIdAndStages) {
+  Response r;
+  r.status = Status::kOk;
+  r.latency_ms = 12.5;
+  r.timeline.request_id = 17;
+  r.timeline.tokens = 96;
+  r.timeline.add(Stage::kQueue, 0.5);
+  r.timeline.add(Stage::kDecode, 10.0);
+  const std::string d = done_to_json(r);
+  EXPECT_TRUE(eva::testutil::json_valid(d)) << d;
+  EXPECT_NE(d.find("\"request_id\": 17"), std::string::npos);
+  EXPECT_NE(d.find("\"tokens\": 96"), std::string::npos);
+  EXPECT_NE(d.find("\"queue_ms\": 0.5"), std::string::npos);
+  EXPECT_NE(d.find("\"decode_ms\": 10"), std::string::npos);
+
+  // Rejected requests never entered the queue: no stage object.
+  Response rej;
+  rej.status = Status::kRejected;
+  rej.timeline.request_id = 18;
+  const std::string dr = done_to_json(rej);
+  EXPECT_TRUE(eva::testutil::json_valid(dr)) << dr;
+  EXPECT_NE(dr.find("\"request_id\": 18"), std::string::npos);
+  EXPECT_EQ(dr.find("\"stages\""), std::string::npos);
+
+  Item item;
+  item.netlist = "M1";
+  const std::string j = item_to_json(item, 17);
+  EXPECT_NE(j.find("\"request_id\": 17"), std::string::npos);
+}
+
+// --- Live stats snapshot ------------------------------------------------------
+
+TEST(Stats, SnapshotIsWellFormedAndCoversTheService) {
+  ServeFixture f(fast_config());
+  f.service.start();
+  Request req;
+  req.n = 1;
+  req.seed = 33;
+  (void)f.service.submit(req).response.get();
+
+  const std::string json = stats_json(f.service);
+  EXPECT_TRUE(eva::testutil::json_valid(json)) << json;
+  // Stage percentiles: a window and a since-start view per stage.
+  for (const char* key :
+       {"\"queue\"", "\"decode\"", "\"cache\"", "\"verify\"", "\"write\"",
+        "\"e2e\"", "\"window\"", "\"total\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
+                                                 << json;
+  }
+  // Live service state: queue depths, occupancy, cache and request
+  // counters, backend dispatch counts.
+  for (const char* key :
+       {"\"queue_depth\"", "\"batch_occupancy\"", "\"cache\"",
+        "\"hit_rate\"", "\"requests\"", "\"submitted\"", "\"backends\"",
+        "\"uptime_s\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
+                                                 << json;
+  }
+
+  const std::string line = stats_response_json(f.service);
+  EXPECT_TRUE(eva::testutil::json_valid(line)) << line;
+  EXPECT_NE(line.find("\"done\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"cmd\": \"stats\""), std::string::npos);
+}
+
+TEST(Stats, QueueDepthsReflectParkedRequests) {
+  ServiceConfig cfg = fast_config();
+  ServeFixture f(cfg);
+  // Not started: submissions park in their priority queues.
+  Request lo;
+  lo.priority = Priority::kLow;
+  Request hi;
+  hi.priority = Priority::kHigh;
+  auto t1 = f.service.submit(lo);
+  auto t2 = f.service.submit(lo);
+  auto t3 = f.service.submit(hi);
+  const auto depths = f.service.queue_depths();
+  EXPECT_EQ(depths[static_cast<int>(Priority::kHigh)], 1u);
+  EXPECT_EQ(depths[static_cast<int>(Priority::kLow)], 2u);
+  f.service.start();
+  (void)t1.response.get();
+  (void)t2.response.get();
+  (void)t3.response.get();
+}
+
 // --- TCP loopback ------------------------------------------------------------
 
 int connect_loopback(int port) {
@@ -407,6 +591,38 @@ TEST(TcpServer, LoopbackRoundTripAndBadRequest) {
   EXPECT_NE(lines[0].find("\"netlist\""), std::string::npos);
   EXPECT_NE(lines[2].find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(lines[3].find("bad_request"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(TcpServer, StatsCommandAnsweredInlineAndUnknownCmdRejected) {
+  train::clear_stop();
+  ServeFixture f(fast_config());
+  ServerConfig scfg;
+  scfg.port = 0;
+  JsonLineServer server(f.service, scfg);
+  const int port = server.listen_and_start();
+  ASSERT_GT(port, 0);
+
+  const int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  // generate, stats, unknown cmd — all on one connection, in order.
+  ASSERT_TRUE(send_all(
+      fd, "{\"n\":1,\"seed\":5}\n{\"cmd\":\"stats\"}\n{\"cmd\":\"flush\"}\n"));
+  const auto lines = read_lines_until_done(fd, 3);
+  ASSERT_EQ(lines.size(), 4u);  // item + ok + stats + bad_request
+  EXPECT_NE(lines[1].find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"stages\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"request_id\""), std::string::npos);
+
+  const std::string& stats = lines[2];
+  EXPECT_TRUE(eva::testutil::json_valid(stats)) << stats;
+  EXPECT_NE(stats.find("\"cmd\": \"stats\""), std::string::npos);
+  // The generate round trip above is already visible in the snapshot.
+  EXPECT_NE(stats.find("\"completed\""), std::string::npos);
+
+  EXPECT_NE(lines[3].find("bad_request"), std::string::npos);
+  EXPECT_NE(lines[3].find("unknown cmd"), std::string::npos);
   ::close(fd);
   server.stop();
 }

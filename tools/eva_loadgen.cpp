@@ -1,0 +1,527 @@
+// eva_loadgen: open-loop load harness for eva_serve_main (DESIGN.md
+// "Request timelines & load harness") — the serving regression gate.
+//
+// Arrivals are an open-loop Poisson process: request send times are
+// drawn up front from exponential inter-arrival gaps at --rate and a
+// dispatcher releases each request at its scheduled instant regardless
+// of how the server is doing — so, unlike a closed-loop client, a slow
+// server accumulates queueing delay instead of silently throttling the
+// offered load. Each worker owns one persistent connection; client-side
+// dispatch skew (scheduled -> actually sent) is measured and reported so
+// an undersized worker pool cannot masquerade as server latency.
+//
+// The workload mixes priorities, deadlines, circuit types, and warm/cold
+// cache behaviour (--warm-frac requests reuse a small seed pool, so the
+// server's WL-canonical-hash ResultCache sees repeats; the rest use
+// unique seeds and always miss). Results are written as BENCH-style JSON
+// (--out): offered vs. achieved vs. goodput rates, status counts,
+// client- and server-side end-to-end percentiles, per-stage
+// (queue/decode/cache/verify) percentiles from the terminator-line
+// timelines, the stage-sum vs. e2e coverage ratio, and the server's own
+// {"cmd":"stats"} snapshot fetched after the run.
+//
+// Usage:
+//   eva_loadgen [--host H] [--port P] [--rate R] [--duration S]
+//               [--n N] [--temperature T] [--deadline-ms D]
+//               [--high-frac F] [--low-frac F] [--types a,b,...]
+//               [--warm-frac F] [--warm-seeds K] [--conns C]
+//               [--seed S] [--out PATH] [--strict]
+//
+// Environment defaults: EVA_LOADGEN_RATE, EVA_LOADGEN_DURATION_SEC,
+// EVA_LOADGEN_CONNS, EVA_LOADGEN_OUT.
+//
+// Exit code: 0 when every request got a terminator; with --strict, also
+// requires every terminator to be "ok" (the CI gate runs at a low rate
+// where timeouts/rejects mean a regression).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- config ------------------------------------------------------------------
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v || *end != '\0') ? fallback : parsed;
+}
+
+struct Config {
+  std::string host = "127.0.0.1";
+  int port = 7077;
+  double rate = env_double("EVA_LOADGEN_RATE", 4.0);        // req/s offered
+  double duration_s = env_double("EVA_LOADGEN_DURATION_SEC", 5.0);
+  int n = 1;                 // topologies per request
+  double temperature = 0.0;  // 0 = server default
+  double deadline_ms = 0.0;  // 0 = none
+  double high_frac = 0.1;    // priority mix: high / low / rest normal
+  double low_frac = 0.1;
+  std::vector<std::string> types;  // circuit-type mix (round-robin); empty
+                                   // = server default type
+  double warm_frac = 0.5;    // fraction reusing the warm seed pool
+  int warm_seeds = 8;        // pool size: smaller = warmer
+  int conns = static_cast<int>(env_double("EVA_LOADGEN_CONNS", 16));
+  std::uint64_t seed = 1;    // arrival + mix RNG
+  std::string out = [] {
+    const char* v = std::getenv("EVA_LOADGEN_OUT");
+    return std::string(v && *v ? v : "BENCH_loadgen.json");
+  }();
+  bool strict = false;
+};
+
+// --- tiny line-oriented client ----------------------------------------------
+
+int connect_to(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+  const auto give_up = Clock::now() + std::chrono::seconds(5);
+  while (Clock::now() < give_up) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t k = ::send(fd, out.data() + off, out.size() - off, 0);
+    if (k <= 0) return false;
+    off += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Read one \n-terminated line (buffered in `buf`); false on EOF/error.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    const ssize_t k = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (k <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(k));
+  }
+}
+
+// --- minimal value extraction from a response line ---------------------------
+// The server's terminator keys are unique within a line, so flat string
+// search is exact enough here (this binary intentionally links nothing).
+
+bool find_number(const std::string& line, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+std::string find_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+// --- per-request record ------------------------------------------------------
+
+struct Shot {
+  double sched_s = 0.0;   // scheduled send time, relative to run start
+  std::string payload;    // request line
+};
+
+struct Outcome {
+  std::string status;       // "" = transport failure before a terminator
+  double client_ms = 0.0;   // send -> terminator observed
+  double server_ms = 0.0;   // terminator latency_ms
+  double skew_ms = 0.0;     // scheduled -> actually sent (client-side lag)
+  double queue_ms = 0.0, decode_ms = 0.0, cache_ms = 0.0, verify_ms = 0.0;
+  double tokens = 0.0;
+  int items_valid = 0;
+  bool has_stages = false;
+};
+
+struct Aggregate {
+  std::mutex mu;
+  std::vector<Outcome> outcomes;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+void percentiles_json(FILE* f, const char* key,
+                      const std::vector<double>& xs) {
+  std::fprintf(f,
+               "\"%s\": {\"count\": %zu, \"mean\": %.6g, \"p50\": %.6g, "
+               "\"p90\": %.6g, \"p99\": %.6g, \"max\": %.6g}",
+               key, xs.size(), mean(xs), percentile(xs, 50.0),
+               percentile(xs, 90.0), percentile(xs, 99.0),
+               xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end()));
+}
+
+// --- worker ------------------------------------------------------------------
+
+struct Dispatcher {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<Shot, Clock::time_point>> ready;  // shot + due time
+  bool closed = false;
+};
+
+void worker_loop(const Config& cfg, Dispatcher& disp, Aggregate& agg) {
+  int fd = connect_to(cfg.host, cfg.port);
+  std::string buf;
+  for (;;) {
+    std::pair<Shot, Clock::time_point> job;
+    {
+      std::unique_lock<std::mutex> lk(disp.mu);
+      disp.cv.wait(lk, [&] { return disp.closed || !disp.ready.empty(); });
+      if (disp.ready.empty()) return;  // closed and drained
+      job = std::move(disp.ready.front());
+      disp.ready.pop_front();
+    }
+    Outcome oc;
+    oc.skew_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           job.second)
+                     .count();
+    if (fd < 0) fd = connect_to(cfg.host, cfg.port);  // lazy reconnect
+    const auto t0 = Clock::now();
+    bool got_done = false;
+    if (fd >= 0 && send_line(fd, job.first.payload)) {
+      std::string line;
+      while (read_line(fd, buf, line)) {
+        if (line.find("\"valid\": true") != std::string::npos) {
+          ++oc.items_valid;
+        }
+        if (line.find("\"done\"") == std::string::npos) continue;
+        got_done = true;
+        oc.client_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        oc.status = find_string(line, "status");
+        find_number(line, "latency_ms", &oc.server_ms);
+        double v = 0.0;
+        oc.has_stages = find_number(line, "queue_ms", &oc.queue_ms);
+        find_number(line, "decode_ms", &oc.decode_ms);
+        find_number(line, "cache_ms", &oc.cache_ms);
+        find_number(line, "verify_ms", &oc.verify_ms);
+        if (find_number(line, "tokens", &v)) oc.tokens = v;
+        break;
+      }
+    }
+    if (!got_done) {
+      // Transport failure: drop the connection so the next job reconnects.
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+      buf.clear();
+    }
+    std::lock_guard<std::mutex> lk(agg.mu);
+    agg.outcomes.push_back(std::move(oc));
+  }
+  // not reached; fd cleanup below
+}
+
+// --- payload synthesis -------------------------------------------------------
+
+std::string make_payload(const Config& cfg, std::mt19937_64& rng,
+                         std::size_t index) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::string p = "{\"n\": " + std::to_string(cfg.n);
+  if (cfg.temperature > 0.0) {
+    p += ", \"temperature\": " + std::to_string(cfg.temperature);
+  }
+  if (cfg.deadline_ms > 0.0) {
+    p += ", \"deadline_ms\": " + std::to_string(cfg.deadline_ms);
+  }
+  const double pr = uni(rng);
+  if (pr < cfg.high_frac) {
+    p += ", \"priority\": \"high\"";
+  } else if (pr < cfg.high_frac + cfg.low_frac) {
+    p += ", \"priority\": \"low\"";
+  }
+  if (!cfg.types.empty()) {
+    p += ", \"type\": \"" + cfg.types[index % cfg.types.size()] + "\"";
+  }
+  // Warm requests draw seeds from a small pool: the first occurrence of
+  // each pooled seed is a cold miss, every repeat is a canonical-hash
+  // cache hit. Cold requests use unique seeds and always miss.
+  std::uint64_t seed;
+  if (uni(rng) < cfg.warm_frac && cfg.warm_seeds > 0) {
+    seed = 1 + (rng() % static_cast<std::uint64_t>(cfg.warm_seeds));
+  } else {
+    seed = 1'000'000 + index;
+  }
+  p += ", \"seed\": " + std::to_string(seed) + "}";
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--host") cfg.host = next();
+    else if (arg == "--port") cfg.port = std::atoi(next());
+    else if (arg == "--rate") cfg.rate = std::atof(next());
+    else if (arg == "--duration") cfg.duration_s = std::atof(next());
+    else if (arg == "--n") cfg.n = std::max(1, std::atoi(next()));
+    else if (arg == "--temperature") cfg.temperature = std::atof(next());
+    else if (arg == "--deadline-ms") cfg.deadline_ms = std::atof(next());
+    else if (arg == "--high-frac") cfg.high_frac = std::atof(next());
+    else if (arg == "--low-frac") cfg.low_frac = std::atof(next());
+    else if (arg == "--warm-frac") cfg.warm_frac = std::atof(next());
+    else if (arg == "--warm-seeds") cfg.warm_seeds = std::atoi(next());
+    else if (arg == "--conns") cfg.conns = std::max(1, std::atoi(next()));
+    else if (arg == "--seed") cfg.seed = static_cast<std::uint64_t>(
+        std::strtoull(next(), nullptr, 10));
+    else if (arg == "--out") cfg.out = next();
+    else if (arg == "--strict") cfg.strict = true;
+    else if (arg == "--types") {
+      std::string list = next();
+      std::size_t pos = 0, comma;
+      while ((comma = list.find(',', pos)) != std::string::npos) {
+        cfg.types.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      if (pos < list.size()) cfg.types.push_back(list.substr(pos));
+    } else {
+      std::fprintf(stderr, "eva_loadgen: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!(cfg.rate > 0.0) || !(cfg.duration_s > 0.0)) {
+    std::fprintf(stderr, "eva_loadgen: --rate and --duration must be > 0\n");
+    return 2;
+  }
+
+  // Deterministic arrival schedule: exponential inter-arrival gaps.
+  std::mt19937_64 rng(cfg.seed);
+  std::exponential_distribution<double> gap(cfg.rate);
+  std::vector<Shot> shots;
+  double t = gap(rng);
+  while (t < cfg.duration_s && shots.size() < 200'000) {
+    Shot s;
+    s.sched_s = t;
+    s.payload = make_payload(cfg, rng, shots.size());
+    shots.push_back(std::move(s));
+    t += gap(rng);
+  }
+  std::fprintf(stderr,
+               "eva_loadgen: offering %zu requests over %.1fs (%.2f rps) to "
+               "%s:%d with %d connections\n",
+               shots.size(), cfg.duration_s, cfg.rate, cfg.host.c_str(),
+               cfg.port, cfg.conns);
+
+  Dispatcher disp;
+  Aggregate agg;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg.conns));
+  for (int i = 0; i < cfg.conns; ++i) {
+    workers.emplace_back([&] { worker_loop(cfg, disp, agg); });
+  }
+
+  // Open-loop dispatch: release each shot at its scheduled instant, no
+  // matter how many are still in flight.
+  const auto start = Clock::now();
+  for (Shot& s : shots) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(s.sched_s));
+    std::this_thread::sleep_until(due);
+    {
+      std::lock_guard<std::mutex> lk(disp.mu);
+      disp.ready.emplace_back(std::move(s), due);
+    }
+    disp.cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lk(disp.mu);
+    disp.closed = true;
+  }
+  disp.cv.notify_all();
+  for (auto& w : workers) w.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Post-run: the server's own live snapshot, embedded verbatim.
+  std::string stats_line;
+  {
+    const int fd = connect_to(cfg.host, cfg.port);
+    if (fd >= 0) {
+      std::string buf;
+      if (send_line(fd, "{\"cmd\":\"stats\"}")) {
+        read_line(fd, buf, stats_line);
+      }
+      ::close(fd);
+    }
+  }
+
+  // Aggregate.
+  std::vector<double> client_ms, server_ms, skew_ms;
+  std::vector<double> queue_ms, decode_ms, cache_ms, verify_ms, sum_ms;
+  std::size_t n_ok = 0, n_timeout = 0, n_rejected = 0, n_other = 0,
+              n_transport = 0;
+  long long valid_items = 0;
+  double tokens = 0.0;
+  for (const Outcome& oc : agg.outcomes) {
+    skew_ms.push_back(oc.skew_ms);
+    if (oc.status.empty()) {
+      ++n_transport;
+      continue;
+    }
+    if (oc.status == "ok") {
+      ++n_ok;
+      client_ms.push_back(oc.client_ms);
+      server_ms.push_back(oc.server_ms);
+      valid_items += oc.items_valid;
+      tokens += oc.tokens;
+      if (oc.has_stages) {
+        queue_ms.push_back(oc.queue_ms);
+        decode_ms.push_back(oc.decode_ms);
+        cache_ms.push_back(oc.cache_ms);
+        verify_ms.push_back(oc.verify_ms);
+        sum_ms.push_back(oc.queue_ms + oc.decode_ms + oc.cache_ms +
+                         oc.verify_ms);
+      }
+    } else if (oc.status == "timeout") {
+      ++n_timeout;
+    } else if (oc.status == "rejected") {
+      ++n_rejected;
+    } else {
+      ++n_other;
+    }
+  }
+  // Stage coverage: how much of the server-reported e2e the four stages
+  // explain (should be ~1.0 — the acceptance bar for the attribution).
+  const double stage_coverage =
+      server_ms.empty() || mean(server_ms) <= 0.0
+          ? 0.0
+          : mean(sum_ms) / mean(server_ms);
+
+  FILE* f = std::fopen(cfg.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "eva_loadgen: cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"context\": {\"tool\": \"eva_loadgen\", ");
+  std::fprintf(f,
+               "\"rate_rps\": %.6g, \"duration_s\": %.6g, \"n\": %d, "
+               "\"deadline_ms\": %.6g, \"high_frac\": %.6g, \"low_frac\": "
+               "%.6g, \"warm_frac\": %.6g, \"warm_seeds\": %d, \"conns\": "
+               "%d, \"seed\": %llu},\n",
+               cfg.rate, cfg.duration_s, cfg.n, cfg.deadline_ms,
+               cfg.high_frac, cfg.low_frac, cfg.warm_frac, cfg.warm_seeds,
+               cfg.conns, static_cast<unsigned long long>(cfg.seed));
+  std::fprintf(f, "  \"results\": {\n");
+  std::fprintf(f, "    \"offered\": %zu,\n", shots.size());
+  std::fprintf(f, "    \"offered_rps\": %.6g,\n",
+               static_cast<double>(shots.size()) / cfg.duration_s);
+  std::fprintf(f,
+               "    \"counts\": {\"ok\": %zu, \"timeout\": %zu, \"rejected\": "
+               "%zu, \"other\": %zu, \"transport_error\": %zu},\n",
+               n_ok, n_timeout, n_rejected, n_other, n_transport);
+  std::fprintf(f, "    \"goodput_rps\": %.6g,\n",
+               wall_s > 0.0 ? static_cast<double>(n_ok) / wall_s : 0.0);
+  std::fprintf(f, "    \"valid_circuits\": %lld,\n", valid_items);
+  std::fprintf(f, "    \"valid_circuits_per_sec\": %.6g,\n",
+               wall_s > 0.0 ? static_cast<double>(valid_items) / wall_s : 0.0);
+  std::fprintf(f, "    \"tokens\": %.6g,\n", tokens);
+  std::fprintf(f, "    \"wall_s\": %.6g,\n", wall_s);
+  std::fprintf(f, "    ");
+  percentiles_json(f, "e2e_client_ms", client_ms);
+  std::fprintf(f, ",\n    ");
+  percentiles_json(f, "e2e_server_ms", server_ms);
+  std::fprintf(f, ",\n    ");
+  percentiles_json(f, "dispatch_skew_ms", skew_ms);
+  std::fprintf(f, ",\n    \"stages\": {");
+  percentiles_json(f, "queue_ms", queue_ms);
+  std::fprintf(f, ", ");
+  percentiles_json(f, "decode_ms", decode_ms);
+  std::fprintf(f, ", ");
+  percentiles_json(f, "cache_ms", cache_ms);
+  std::fprintf(f, ", ");
+  percentiles_json(f, "verify_ms", verify_ms);
+  std::fprintf(f, ", ");
+  percentiles_json(f, "stage_sum_ms", sum_ms);
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "    \"stage_coverage\": %.6g\n  }", stage_coverage);
+  if (!stats_line.empty()) {
+    std::fprintf(f, ",\n  \"server_stats\": %s", stats_line.c_str());
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "eva_loadgen: ok=%zu timeout=%zu rejected=%zu other=%zu "
+               "transport=%zu goodput=%.2f rps p50=%.1fms p99=%.1fms "
+               "stage_coverage=%.3f -> %s\n",
+               n_ok, n_timeout, n_rejected, n_other, n_transport,
+               wall_s > 0.0 ? static_cast<double>(n_ok) / wall_s : 0.0,
+               percentile(client_ms, 50.0), percentile(client_ms, 99.0),
+               stage_coverage, cfg.out.c_str());
+
+  const bool all_answered = n_transport == 0 &&
+                            agg.outcomes.size() == shots.size();
+  if (!all_answered) return 1;
+  if (cfg.strict && (n_timeout + n_rejected + n_other) > 0) return 1;
+  return 0;
+}

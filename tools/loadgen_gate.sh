@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Serving regression gate (CI "loadgen gate" step): drive a live
+# eva_serve process with the open-loop Poisson harness at a fixed low
+# rate and require every request to come back "ok" — at this offered
+# load, any timeout/reject/transport error is a serving regression, not
+# noise. The BENCH-style latency JSON is left at $out for artifact
+# upload, and the server must still drain cleanly on SIGTERM afterwards.
+#
+# Usage: tools/loadgen_gate.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: loadgen_gate.sh <build-dir> [out.json]}
+out=${2:-BENCH_loadgen.json}
+server_bin="$build_dir/src/serve/eva_serve_main"
+loadgen_bin="$build_dir/tools/eva_loadgen"
+work=$(mktemp -d)
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+wait_for_port() {
+  local log=$1 i
+  for i in $(seq 1 100); do
+    if grep -q 'eva_serve listening on port' "$log"; then
+      grep -o 'eva_serve listening on port [0-9]*' "$log" | awk '{print $5}'
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server never became ready" >&2
+  cat "$log" >&2
+  return 1
+}
+
+echo "== loadgen gate: open-loop Poisson load, strict =="
+EVA_SERVE_PORT=0 "$server_bin" >"$work/server.log" 2>&1 &
+server_pid=$!
+port=$(wait_for_port "$work/server.log")
+
+# Low fixed rate with mixed priorities and a warm/cold cache mix: the
+# gate asserts zero timeouts/rejects via --strict (nonzero exit on any
+# non-ok terminator or unanswered request).
+"$loadgen_bin" --port "$port" --rate 8 --duration 5 \
+  --high-frac 0.2 --low-frac 0.2 --warm-frac 0.5 --warm-seeds 8 \
+  --conns 8 --seed 42 --out "$out" --strict
+
+# The run must have produced parseable JSON with a sane shape, and the
+# per-stage attribution must cover the server-side e2e latency (the
+# stage sum and e2e are measured independently; a drift means a stage
+# went missing from the timeline).
+python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+res = doc["results"]
+assert res["counts"]["ok"] == res["offered"] > 0, res["counts"]
+assert res["counts"]["timeout"] == 0, res["counts"]
+assert res["counts"]["rejected"] == 0, res["counts"]
+assert res["counts"]["transport_error"] == 0, res["counts"]
+cov = res["stage_coverage"]
+assert 0.90 <= cov <= 1.10, f"stage attribution drifted: coverage={cov}"
+stats = doc["server_stats"]["stats"]
+assert stats["requests"]["completed"] >= res["offered"]
+print(f"loadgen gate: {res['counts']['ok']} ok, "
+      f"p99={res['e2e_client_ms']['p99']:.1f}ms, stage_coverage={cov:.3f}")
+EOF
+
+echo "== loadgen gate: SIGTERM drain =="
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q 'eva_serve drained, exiting' "$work/server.log"
+unset server_pid
+
+echo "loadgen gate: passed ($out)"

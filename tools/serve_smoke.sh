@@ -4,13 +4,17 @@
 # Usage: tools/serve_smoke.sh <build-dir>
 #
 # Exercises the full wire path against a real eva_serve process:
-#   1. round trip:   n=2 seeded request answered with item + done lines
-#   2. bad request:  malformed JSON gets a bad_request terminator and the
-#                    connection stays usable
-#   3. past deadline: deadline_ms=1 resolves to a "timeout" terminator
-#   4. queue overflow: EVA_SERVE_QUEUE_MAX=1 plus parallel bursty clients
+#   1. round trip:   n=2 seeded request answered with item + done lines,
+#                    every line echoing the request id, the terminator
+#                    carrying the per-stage latency attribution
+#   2. bad request:  malformed JSON and unknown "cmd" values get a
+#                    bad_request terminator and the connection stays usable
+#   3. stats:        {"cmd":"stats"} answers inline with a parseable
+#                    snapshot of stage percentiles / queue depths / cache
+#   4. past deadline: deadline_ms=1 resolves to a "timeout" terminator
+#   5. queue overflow: EVA_SERVE_QUEUE_MAX=1 plus parallel bursty clients
 #                    forces "rejected" terminators carrying retry_after_ms
-#   5. SIGTERM drain: the server exits cleanly with its drain banner
+#   6. SIGTERM drain: the server exits cleanly with its drain banner
 set -euo pipefail
 
 build_dir=${1:?usage: serve_smoke.sh <build-dir>}
@@ -40,11 +44,36 @@ server_pid=$!
 port=$(wait_for_port "$work/server1.log")
 
 "$client_bin" --port "$port" '{"n":2,"seed":7}' 'this is not json' \
-  >"$work/client1.out"
+  '{"cmd":"selfdestruct"}' >"$work/client1.out"
 grep -q '"status": "ok"' "$work/client1.out"
 grep -q '"status": "bad_request"' "$work/client1.out"
-# The ok response must stream one line per requested topology.
+grep -q 'unknown cmd: selfdestruct' "$work/client1.out"
+# The ok response must stream one line per requested topology, each
+# echoing the request id, and the terminator must attribute latency to
+# stages (DESIGN.md "Request timelines & load harness").
 [ "$(grep -c '"netlist"' "$work/client1.out")" -ge 2 ]
+[ "$(grep -c '"request_id"' "$work/client1.out")" -ge 3 ]
+grep -q '"stages": {"queue_ms"' "$work/client1.out"
+
+echo "== phase 1b: live stats snapshot =="
+"$client_bin" --port "$port" '{"cmd":"stats"}' >"$work/stats.out"
+python3 - "$work/stats.out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    line = next(l for l in f if '"stats"' in l)
+doc = json.loads(line)
+assert doc["status"] == "ok" and doc["cmd"] == "stats"
+stats = doc["stats"]
+for stage in ("queue", "decode", "cache", "verify", "write", "e2e"):
+    snap = stats["stages"][stage]
+    assert "window" in snap and "total" in snap, stage
+    assert "p99" in snap["total"], stage
+# The n=2 round trip above must already be visible in the snapshot.
+assert stats["requests"]["completed"] >= 1, stats["requests"]
+assert stats["stages"]["e2e"]["total"]["count"] >= 1
+assert set(stats["queue_depth"]) == {"high", "normal", "low", "total"}
+print("stats snapshot: ok")
+EOF
 
 # A 1ms deadline only expires if the scheduler cannot pick the request
 # up immediately, so park a long-running request in front of it.
