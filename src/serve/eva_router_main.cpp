@@ -1,0 +1,99 @@
+// eva_router_main: fleet front end (DESIGN.md §13).
+//
+// Binds the router's TCP listener, consistent-hashes generation requests
+// across the configured replica backends with health-checked failover,
+// retry/backoff, optional hedging, load shedding, and an optional shared
+// cache sidecar, and runs until SIGTERM/SIGINT.
+//
+// Environment:
+//   EVA_ROUTER_PORT          listen port (default 7070; 0 = ephemeral)
+//   EVA_ROUTER_BACKENDS      comma-separated replica host:port list
+//                            (required unless --backends is given)
+//   EVA_ROUTER_CACHE         cache sidecar host:port ("" = no shared cache)
+//   EVA_ROUTER_HEALTH_MS     health-probe interval (default 250)
+//   EVA_ROUTER_TIMEOUT_MS    per-attempt replica budget (default 5000)
+//   EVA_ROUTER_MAX_ATTEMPTS  dispatch attempts per request (default 4)
+//   EVA_ROUTER_HEDGE_MS      hedge delay for high-priority requests
+//                            (default off; >= 0 enables)
+//   EVA_ROUTER_MAX_INFLIGHT  shed above this many in-flight requests (256)
+//   EVA_SERVE_IDLE_MS        per-connection idle read timeout
+//   EVA_METRICS_FILE         metrics export target (obs layer)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "train/signal.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string env_str(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? v : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eva;
+
+  train::install_signal_handlers();
+  obs::start_periodic_flush();
+
+  serve::RouterConfig cfg;
+  cfg.port = env_int("EVA_ROUTER_PORT", 7070);
+  std::string backends = env_str("EVA_ROUTER_BACKENDS", "");
+  cfg.cache_addr = env_str("EVA_ROUTER_CACHE", "");
+  cfg.health_interval_ms = env_double("EVA_ROUTER_HEALTH_MS", 250.0);
+  cfg.replica_timeout_ms = env_double("EVA_ROUTER_TIMEOUT_MS", 5000.0);
+  cfg.max_attempts = env_int("EVA_ROUTER_MAX_ATTEMPTS", 4);
+  cfg.hedge_delay_ms = env_double("EVA_ROUTER_HEDGE_MS", -1.0);
+  cfg.max_inflight = static_cast<std::size_t>(
+      std::max(1, env_int("EVA_ROUTER_MAX_INFLIGHT", 256)));
+  cfg.idle_ms = serve::idle_ms_from_env(0.0);
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") cfg.port = std::atoi(argv[i + 1]);
+    if (arg == "--backends") backends = argv[i + 1];
+    if (arg == "--cache") cfg.cache_addr = argv[i + 1];
+    if (arg == "--hedge-ms") cfg.hedge_delay_ms = std::atof(argv[i + 1]);
+  }
+  cfg.backends = serve::parse_backend_list(backends);
+
+  try {
+    serve::Router router(cfg);
+    const int port = router.listen_and_start();
+    // CI readiness probe scrapes this exact line.
+    std::printf("eva_router listening on port %d\n", port);
+    std::fflush(stdout);
+    router.run();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "eva_router: %s\n", e.what());
+    return 1;
+  }
+  obs::export_now();
+  std::printf("eva_router drained, exiting\n");
+  return 0;
+}

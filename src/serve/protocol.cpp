@@ -79,7 +79,7 @@ class FlatJsonScanner {
     return false;
   }
 
-  bool parse_string(std::string& out) {
+  bool parse_string(std::string& out, std::size_t max_len = kMaxString) {
     if (!consume('"')) return fail("expected string");
     out.clear();
     while (pos_ < s_.size()) {
@@ -108,7 +108,7 @@ class FlatJsonScanner {
       } else {
         out += c;
       }
-      if (out.size() > kMaxString) return fail("string too long");
+      if (out.size() > max_len) return fail("string too long");
     }
     return fail("unterminated string");
   }
@@ -118,7 +118,10 @@ class FlatJsonScanner {
     const char c = s_[pos_];
     if (c == '"') {
       f.kind = Field::Kind::kString;
-      return parse_string(f.str);
+      // A cache_put payload is a whole response, not an identifier: it
+      // gets the large bound, every other string keeps the tight one.
+      return parse_string(f.str,
+                          f.key == "value" ? kMaxCacheValue : kMaxString);
     }
     if (c == '{' || c == '[') return fail("nested values not allowed");
     if (s_.substr(pos_, 4) == "true") {
@@ -207,9 +210,17 @@ std::optional<ParsedLine> parse_line(std::string_view line,
         out.kind = ParsedLine::Kind::kStats;
       } else if (f.str == "generate") {
         out.kind = ParsedLine::Kind::kGenerate;
+      } else if (f.str == "cache_get") {
+        out.kind = ParsedLine::Kind::kCacheGet;
+      } else if (f.str == "cache_put") {
+        out.kind = ParsedLine::Kind::kCachePut;
       } else if (field_err.empty()) {
         field_err = "unknown cmd: " + f.str;
       }
+    } else if (f.key == "key" && f.kind == Kind::kString) {
+      out.key = f.str;
+    } else if (f.key == "value" && f.kind == Kind::kString) {
+      out.value = f.str;
     } else if (f.key == "type" && f.kind == Kind::kString) {
       if (const auto t = parse_type(f.str)) {
         req.type = *t;
@@ -239,6 +250,16 @@ std::optional<ParsedLine> parse_line(std::string_view line,
   }
   if (out.kind == ParsedLine::Kind::kGenerate && req.n < 1) {
     if (error) *error = "n must be >= 1";
+    return std::nullopt;
+  }
+  if ((out.kind == ParsedLine::Kind::kCacheGet ||
+       out.kind == ParsedLine::Kind::kCachePut) &&
+      out.key.empty()) {
+    if (error) *error = "cache command needs a key";
+    return std::nullopt;
+  }
+  if (out.kind == ParsedLine::Kind::kCachePut && out.value.empty()) {
+    if (error) *error = "cache_put needs a value";
     return std::nullopt;
   }
   return out;

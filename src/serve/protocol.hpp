@@ -28,6 +28,17 @@
 // stays open. The parser accepts only flat objects (no nesting) — the
 // protocol never needs more, and a bounded grammar is the right posture
 // for untrusted input.
+//
+// The shared-cache tier (serve/sidecar.hpp) speaks the same JSON-lines
+// grammar with two more commands, answered only by the sidecar process
+// (a replica or the router answers them with bad_request):
+//
+//   {"cmd":"cache_get","key":"t0:n4:T1:s42"}
+//   {"cmd":"cache_put","key":"t0:n4:T1:s42","value":"<escaped payload>"}
+//
+// The "value" string (a whole multi-line response payload, JSON-escaped)
+// is the one protocol field allowed to exceed the 256-byte string cap —
+// it is bounded by kMaxCacheValue instead.
 #pragma once
 
 #include <optional>
@@ -38,12 +49,20 @@
 
 namespace eva::serve {
 
-/// What one protocol line asks for: a generation request (the default)
-/// or a live stats snapshot ({"cmd":"stats"}).
+/// Upper bound on a "value" field (cache_put payload). Anything larger
+/// is a parse error; the sidecar additionally refuses to store values
+/// near this bound (stored:false) instead of failing the connection.
+inline constexpr std::size_t kMaxCacheValue = 1 << 18;
+
+/// What one protocol line asks for: a generation request (the default),
+/// a live stats snapshot ({"cmd":"stats"}), or a shared-cache operation
+/// ({"cmd":"cache_get"/"cache_put"}, sidecar only).
 struct ParsedLine {
-  enum class Kind { kGenerate, kStats };
+  enum class Kind { kGenerate, kStats, kCacheGet, kCachePut };
   Kind kind = Kind::kGenerate;
-  Request req;  // meaningful when kind == kGenerate
+  Request req;        // meaningful when kind == kGenerate
+  std::string key;    // meaningful for cache commands
+  std::string value;  // meaningful for kCachePut
 };
 
 /// Parse one protocol line. On failure returns nullopt and, when `error`

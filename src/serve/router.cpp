@@ -1,0 +1,947 @@
+#include "serve/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "train/signal.hpp"
+#include "util/error.hpp"
+
+namespace eva::serve {
+
+namespace {
+
+constexpr int kPollMs = 100;  // stop-flag observation granularity
+using Clock = std::chrono::steady_clock;
+
+std::chrono::steady_clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Sleep `ms`, waking every 20 ms to observe `stop`.
+void interruptible_sleep(double ms, const std::atomic<bool>& stop) {
+  const auto until = Clock::now() + ms_duration(ms);
+  while (Clock::now() < until && !stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool split_addr(std::string_view addr, std::string* host, int* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= addr.size()) {
+    return false;
+  }
+  int p = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    const char c = addr[i];
+    if (c < '0' || c > '9') return false;
+    p = p * 10 + (c - '0');
+    if (p > 65535) return false;
+  }
+  if (p < 1) return false;
+  *host = std::string(addr.substr(0, colon));
+  *port = p;
+  return true;
+}
+
+/// Extract `"key": "<value>"` from a response line. Status values are
+/// ASCII identifiers emitted by our own serializers — no escapes.
+std::string json_field_string(const std::string& line, const char* key) {
+  const std::string pat = std::string("\"") + key + "\": \"";
+  const std::size_t p = line.find(pat);
+  if (p == std::string::npos) return "";
+  const std::size_t start = p + pat.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+double json_field_number(const std::string& line, const char* key,
+                         double fallback) {
+  const std::string pat = std::string("\"") + key + "\": ";
+  const std::size_t p = line.find(pat);
+  if (p == std::string::npos) return fallback;
+  const char* s = line.c_str() + p + pat.size();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return end == s ? fallback : v;
+}
+
+/// Terminator the router synthesizes when it sheds a request before
+/// dispatch. Same shape as a replica rejection, attributed to the router.
+std::string shed_json(double retry_after_ms) {
+  std::string out =
+      "{\"done\": true, \"status\": \"rejected\", \"request_id\": 0, "
+      "\"items\": 0, \"latency_ms\": 0, \"retry_after_ms\": ";
+  obs::json_number_into(out, retry_after_ms);
+  out += ", \"shed_by\": \"router\"}";
+  return out;
+}
+
+/// Terminator for a request whose attempt budget is exhausted: every
+/// admitted request resolves with a clean line, never a hang or a tear.
+std::string unavailable_json(int attempts, const std::string& error,
+                             double retry_after_ms) {
+  std::string out =
+      "{\"done\": true, \"status\": \"unavailable\", \"request_id\": 0, "
+      "\"items\": 0, \"latency_ms\": 0, \"attempts\": ";
+  obs::json_number_into(out, static_cast<std::int64_t>(attempts));
+  out += ", \"retry_after_ms\": ";
+  obs::json_number_into(out, retry_after_ms);
+  out += ", \"error\": ";
+  obs::json_string_into(out, error);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+HashRing::HashRing(const std::vector<std::size_t>& members, int vnodes)
+    : n_members_(members.size()) {
+  const int vn = std::max(1, vnodes);
+  points_.reserve(members.size() * static_cast<std::size_t>(vn));
+  for (const std::size_t m : members) {
+    // Each member's points depend only on its own identity, so removing
+    // a member leaves every other member's points — and therefore every
+    // other member's keys — exactly where they were.
+    for (int v = 0; v < vn; ++v) {
+      const std::uint64_t salt =
+          (static_cast<std::uint64_t>(m) + 1) * 0x9E3779B97F4A7C15ULL +
+          static_cast<std::uint64_t>(v);
+      points_.emplace_back(BackoffPolicy::splitmix64(salt), m);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::primary(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const auto& pt, std::uint64_t k) { return pt.first < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  order.reserve(n_members_);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const auto& pt, std::uint64_t k) { return pt.first < k; });
+  std::size_t idx = static_cast<std::size_t>(it - points_.begin());
+  for (std::size_t seen = 0;
+       seen < points_.size() && order.size() < n_members_; ++seen) {
+    const std::size_t m = points_[(idx + seen) % points_.size()].second;
+    if (std::find(order.begin(), order.end(), m) == order.end()) {
+      order.push_back(m);
+    }
+  }
+  return order;
+}
+
+std::uint64_t request_ring_key(int type_tag, std::uint64_t seed,
+                               std::uint64_t spread) {
+  const std::uint64_t bucket = seed != 0 ? seed : ~spread;
+  return BackoffPolicy::splitmix64(
+      static_cast<std::uint64_t>(type_tag) * 0xBF58476D1CE4E5B9ULL ^
+      BackoffPolicy::splitmix64(bucket));
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+
+bool CircuitBreaker::allow(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const double waited =
+          std::chrono::duration<double, std::milli>(now - opened_at_).count();
+      if (waited < cooldown_ms_) return false;
+      state_ = State::kHalfOpen;
+      trial_inflight_ = true;  // this caller is the trial
+      return true;
+    }
+    case State::kHalfOpen:
+      if (trial_inflight_) return false;
+      trial_inflight_ = true;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+bool CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool recovered = state_ != State::kClosed;
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  trial_inflight_ = false;
+  return recovered;
+}
+
+bool CircuitBreaker::record_failure(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  trial_inflight_ = false;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    return true;  // the trial failed: back to open
+  }
+  if (state_ == State::kOpen) return false;  // already open (prober race)
+  if (++consecutive_failures_ >= threshold_) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    return true;
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+const char* CircuitBreaker::state_name() const {
+  switch (state()) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+/// Outcome of one buffered replica exchange. kOk and kReject carry a
+/// complete, relayable payload; everything else is retryable (the client
+/// has seen none of it).
+struct Router::ForwardOutcome {
+  enum class Kind { kOk, kReject, kTransport, kTimeout, kCancelled, kSkipped };
+  Kind kind = Kind::kSkipped;
+  std::string payload;  // full multi-line response, each line '\n'-terminated
+  double retry_after_ms = 0.0;
+  std::string error;
+};
+
+/// Hedging cancel handle: cancel() shuts the armed socket down so the
+/// loser's blocked read returns immediately. arm/disarm bracket the fd's
+/// lifetime so a cancel never touches a closed (possibly reused) fd.
+struct Router::CancelToken {
+  std::mutex m;
+  int fd = -1;
+  bool cancelled = false;
+
+  /// Returns false when cancel() already happened (don't bother sending).
+  bool arm(int f) {
+    std::lock_guard<std::mutex> lk(m);
+    if (cancelled) return false;
+    fd = f;
+    return true;
+  }
+  void disarm() {
+    std::lock_guard<std::mutex> lk(m);
+    fd = -1;
+  }
+  void cancel() {
+    std::lock_guard<std::mutex> lk(m);
+    cancelled = true;
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  bool is_cancelled() {
+    std::lock_guard<std::mutex> lk(m);
+    return cancelled;
+  }
+};
+
+Router::Router(RouterConfig cfg) : cfg_(std::move(cfg)) {
+  std::vector<std::size_t> members;
+  for (const std::string& b : cfg_.backends) {
+    std::string host;
+    int port = 0;
+    if (!split_addr(b, &host, &port)) {
+      throw ConfigError("router: bad backend address: " + b);
+    }
+    replicas_.push_back(std::make_unique<Replica>(
+        std::move(host), port, b, cfg_.breaker_threshold,
+        cfg_.breaker_cooldown_ms));
+    members.push_back(replicas_.size() - 1);
+  }
+  if (replicas_.empty()) {
+    throw ConfigError("router: no backends configured (EVA_ROUTER_BACKENDS)");
+  }
+  if (!cfg_.cache_addr.empty()) {
+    std::string host;
+    int port = 0;
+    if (!split_addr(cfg_.cache_addr, &host, &port)) {
+      throw ConfigError("router: bad cache address: " + cfg_.cache_addr);
+    }
+  }
+  ring_ = std::make_unique<HashRing>(members, cfg_.vnodes);
+}
+
+Router::~Router() { stop(); }
+
+int Router::listen_and_start() {
+  net::ignore_sigpipe();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw ConfigError(std::string("router: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::inet_pton(AF_INET, cfg_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("router: bad bind address: " + cfg_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ConfigError("router: cannot listen on " + cfg_.bind_addr + ":" +
+                      std::to_string(cfg_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  prober_ = std::thread([this] { health_loop(); });
+  obs::log_info("router.listening",
+                {{"addr", cfg_.bind_addr},
+                 {"port", bound_port_},
+                 {"backends", static_cast<std::int64_t>(replicas_.size())},
+                 {"cache", cfg_.cache_addr}});
+  return bound_port_;
+}
+
+void Router::run() {
+  while (!stopping_.load() && !train::stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+  stop();
+}
+
+void Router::stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true);
+    if (acceptor_.joinable()) acceptor_.join();
+    if (prober_.joinable()) prober_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> handlers;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      handlers.swap(handlers_);
+    }
+    for (auto& t : handlers) {
+      if (t.joinable()) t.join();
+    }
+    {
+      std::lock_guard<std::mutex> lk(cache_mu_);
+      cache_drop_locked();
+    }
+    obs::log_info("router.stopped");
+  });
+}
+
+std::vector<Router::ReplicaSnapshot> Router::replica_snapshots() const {
+  std::vector<ReplicaSnapshot> out;
+  out.reserve(replicas_.size());
+  for (const auto& r : replicas_) {
+    ReplicaSnapshot s;
+    s.addr = r->addr;
+    s.breaker = r->breaker.state();
+    s.healthy = r->healthy.load();
+    s.failures = r->failures.load();
+    s.successes = r->successes.load();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Router::accept_loop() {
+  static obs::Counter& accepted = obs::counter("router.connections");
+  while (!stopping_.load() && !train::stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted.add();
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    open_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Router::health_loop() {
+  while (!stopping_.load() && !train::stop_requested()) {
+    for (auto& r : replicas_) {
+      if (stopping_.load()) break;
+      // allow() doubles as the open -> half-open transition: the prober
+      // is the half-open trial, so a replica recovers without waiting
+      // for data traffic to gamble on it.
+      if (!r->breaker.allow(Clock::now())) {
+        r->healthy.store(false);
+        continue;
+      }
+      const bool ok = probe(*r);
+      r->healthy.store(ok);
+      if (ok) {
+        note_success(*r);
+      } else {
+        note_failure(*r);
+      }
+    }
+    interruptible_sleep(cfg_.health_interval_ms, stopping_);
+  }
+}
+
+bool Router::probe(Replica& r) {
+  const int fd =
+      net::connect_with_deadline(r.host, r.port, cfg_.probe_timeout_ms);
+  if (fd < 0) return false;
+  bool ok = net::send_line(fd, "{\"cmd\": \"stats\"}");
+  if (ok) {
+    net::LineReader reader(fd);
+    std::string line;
+    const auto rc = reader.read_line(
+        line, Clock::now() + ms_duration(cfg_.probe_timeout_ms));
+    ok = rc == net::LineReader::Result::kLine &&
+         line.find("\"done\"") != std::string::npos;
+  }
+  ::close(fd);
+  return ok;
+}
+
+void Router::note_success(Replica& r) {
+  r.successes.fetch_add(1);
+  if (r.breaker.record_success()) {
+    obs::counter("router.breaker_recoveries").add();
+    obs::log_info("router.breaker_close", {{"replica", r.addr}});
+  }
+}
+
+void Router::note_failure(Replica& r) {
+  r.failures.fetch_add(1);
+  if (r.breaker.record_failure(Clock::now())) {
+    obs::counter("router.breaker_trips").add();
+    obs::log_warn("router.breaker_open", {{"replica", r.addr}});
+  }
+}
+
+void Router::handle_connection(int fd) {
+  static obs::Counter& requests = obs::counter("router.requests");
+  static obs::Counter& shed = obs::counter("router.shed");
+  static obs::SlidingHistogram& dispatch_h =
+      obs::sliding_histogram("router.dispatch_ms");
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  auto last_activity = Clock::now();
+  while (open && !stopping_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) {
+      if (cfg_.idle_ms > 0.0 &&
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    last_activity)
+                  .count() > cfg_.idle_ms) {
+        obs::counter("router.idle_timeouts").add();
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    last_activity = Clock::now();
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > 1 << 20) break;
+
+    std::size_t nl;
+    while (open && (nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      std::string err;
+      const auto parsed = parse_line(line, &err);
+      if (!parsed) {
+        open = net::send_line(fd, bad_request_json(err));
+        continue;
+      }
+      if (parsed->kind == ParsedLine::Kind::kStats) {
+        open = net::send_line(fd, stats_json());
+        continue;
+      }
+      if (parsed->kind != ParsedLine::Kind::kGenerate) {
+        open = net::send_line(
+            fd, bad_request_json("cache commands are answered by the sidecar"));
+        continue;
+      }
+      requests.add();
+      // Load shedding: above max_inflight the router answers with clean
+      // backpressure immediately instead of queueing behind a congested
+      // fleet — the client's retry policy takes it from there.
+      if (inflight_.load() >= static_cast<long>(cfg_.max_inflight)) {
+        shed.add();
+        open = net::send_line(fd, shed_json(cfg_.shed_retry_after_ms));
+        continue;
+      }
+      inflight_.fetch_add(1);
+      const auto t0 = Clock::now();
+      std::string payload = dispatch(*parsed, line);
+      dispatch_h.record(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+      inflight_.fetch_sub(1);
+      open = net::send_all(fd, payload);
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+}
+
+std::string Router::dispatch(const ParsedLine& parsed, const std::string& line) {
+  static obs::Counter& retries = obs::counter("router.retries");
+  static obs::Counter& hedges = obs::counter("router.hedges");
+  static obs::Counter& hedge_wins = obs::counter("router.hedge_wins");
+  static obs::Counter& cache_hits = obs::counter("router.cache_hits");
+  static obs::Counter& cache_misses = obs::counter("router.cache_misses");
+  static obs::Counter& cache_fills = obs::counter("router.cache_fills");
+  static obs::Counter& unavailable = obs::counter("router.unavailable");
+
+  const Request& req = parsed.req;
+  const bool cacheable = !cfg_.cache_addr.empty() && req.seed != 0;
+  std::string key;
+  if (cacheable) {
+    key = cache_key(req);
+    std::string payload;
+    if (cache_get(key, &payload)) {
+      cache_hits.add();
+      return payload;
+    }
+    cache_misses.add();
+  }
+
+  const std::uint64_t rk = request_ring_key(
+      static_cast<int>(req.type), req.seed, spread_.fetch_add(1));
+  const std::vector<std::size_t> pref = ring_->preference(rk);
+
+  const auto complete = [](const ForwardOutcome& o) {
+    return o.kind == ForwardOutcome::Kind::kOk ||
+           o.kind == ForwardOutcome::Kind::kReject;
+  };
+  const auto try_replica = [&](std::size_t idx,
+                               CancelToken* tok) -> ForwardOutcome {
+    Replica& r = *replicas_[idx];
+    if (!r.breaker.allow(Clock::now())) {
+      ForwardOutcome o;
+      o.kind = ForwardOutcome::Kind::kSkipped;
+      o.error = "breaker open: " + r.addr;
+      return o;
+    }
+    ForwardOutcome o = forward_once(r, line, cfg_.replica_timeout_ms, tok);
+    switch (o.kind) {
+      case ForwardOutcome::Kind::kOk:
+      case ForwardOutcome::Kind::kReject:
+        note_success(r);
+        break;
+      case ForwardOutcome::Kind::kTransport:
+      case ForwardOutcome::Kind::kTimeout:
+        note_failure(r);
+        break;
+      case ForwardOutcome::Kind::kCancelled:
+      case ForwardOutcome::Kind::kSkipped:
+        break;  // says nothing about the replica's health
+    }
+    return o;
+  };
+  const auto finalize = [&](ForwardOutcome& o) -> std::string {
+    if (o.kind == ForwardOutcome::Kind::kOk && cacheable) {
+      cache_fills.add();
+      cache_put(key, o.payload);
+    }
+    return std::move(o.payload);
+  };
+
+  ForwardOutcome last;
+  last.error = "no replica available";
+  std::size_t cursor = 0;
+  int attempt = 0;
+
+  // Hedged first wave: a high-priority request whose primary is slow is
+  // duplicated to the next ring replica after hedge_delay_ms; the first
+  // complete response wins and the loser's socket is shut down. Only
+  // worth it when the primary's breaker is closed — otherwise the
+  // sequential path below fails over immediately anyway.
+  if (req.priority == Priority::kHigh && cfg_.hedge_delay_ms >= 0.0 &&
+      pref.size() >= 2 &&
+      replicas_[pref[0]]->breaker.state() == CircuitBreaker::State::kClosed) {
+    struct Shared {
+      std::mutex m;
+      std::condition_variable cv;
+      bool done0 = false, done1 = false;
+      ForwardOutcome o0, o1;
+    } sh;
+    CancelToken t0, t1;
+    bool launched1 = false;
+    std::thread th0([&] {
+      ForwardOutcome o = try_replica(pref[0], &t0);
+      std::lock_guard<std::mutex> lk(sh.m);
+      sh.o0 = std::move(o);
+      sh.done0 = true;
+      sh.cv.notify_all();
+    });
+    std::thread th1;
+    {
+      std::unique_lock<std::mutex> lk(sh.m);
+      sh.cv.wait_for(lk, ms_duration(cfg_.hedge_delay_ms),
+                     [&] { return sh.done0; });
+      if (!sh.done0) {
+        hedges.add();
+        launched1 = true;
+        th1 = std::thread([&] {
+          ForwardOutcome o = try_replica(pref[1], &t1);
+          std::lock_guard<std::mutex> lk2(sh.m);
+          sh.o1 = std::move(o);
+          sh.done1 = true;
+          sh.cv.notify_all();
+        });
+        sh.cv.wait(lk, [&] { return sh.done0 || sh.done1; });
+      }
+      // First finisher with a complete response cancels the other leg;
+      // a failed first finisher waits for the second instead.
+      const bool o0_first = sh.done0;
+      if (complete(o0_first ? sh.o0 : sh.o1)) {
+        (o0_first ? t1 : t0).cancel();
+      } else if (launched1) {
+        sh.cv.wait(lk, [&] { return sh.done0 && sh.done1; });
+        if (complete(sh.o0) || complete(sh.o1)) {
+          (complete(sh.o0) ? t1 : t0).cancel();
+        }
+      }
+    }
+    th0.join();
+    if (th1.joinable()) th1.join();
+
+    if (complete(sh.o0)) return finalize(sh.o0);
+    if (launched1 && complete(sh.o1)) {
+      hedge_wins.add();
+      return finalize(sh.o1);
+    }
+    // Both legs failed: keep whichever error is most informative and
+    // continue down the ring with the remaining attempt budget.
+    last = sh.o0.kind == ForwardOutcome::Kind::kSkipped ? sh.o1
+                                                        : std::move(sh.o0);
+    attempt = launched1 ? 2 : 1;
+    cursor = launched1 ? 2 : 1;
+  }
+
+  while (attempt < cfg_.max_attempts) {
+    const std::size_t idx = pref[cursor % pref.size()];
+    ++cursor;
+    ForwardOutcome o = try_replica(idx, nullptr);
+    if (o.kind == ForwardOutcome::Kind::kSkipped) {
+      // Breaker open: move on without burning backoff time — when the
+      // whole fleet is open this degrades to an immediate clean error.
+      ++attempt;
+      continue;
+    }
+    ++attempt;
+    if (complete(o)) return finalize(o);
+    last = std::move(o);
+    if (attempt < cfg_.max_attempts) {
+      retries.add();
+      interruptible_sleep(
+          cfg_.backoff.delay_ms(attempt, cfg_.seed ^ rk), stopping_);
+    }
+  }
+
+  unavailable.add();
+  obs::log_every_n(obs::LogLevel::kWarn, "router.unavailable", 10,
+                   {{"error", last.error}});
+  std::string out =
+      unavailable_json(attempt, last.error, cfg_.shed_retry_after_ms);
+  out += '\n';
+  return out;
+}
+
+Router::ForwardOutcome Router::forward_once(Replica& r,
+                                            const std::string& line,
+                                            double timeout_ms,
+                                            CancelToken* cancel) {
+  ForwardOutcome out;
+  out.kind = ForwardOutcome::Kind::kTransport;
+  const auto deadline = Clock::now() + ms_duration(timeout_ms);
+  const int fd = net::connect_with_deadline(
+      r.host, r.port, std::min(timeout_ms, 1000.0));
+  if (fd < 0) {
+    out.error = "connect failed: " + r.addr;
+    return out;
+  }
+  if (cancel && !cancel->arm(fd)) {
+    ::close(fd);
+    out.kind = ForwardOutcome::Kind::kCancelled;
+    return out;
+  }
+  if (!net::send_line(fd, line)) {
+    out.error = "write failed: " + r.addr;
+  } else {
+    net::LineReader reader(fd);
+    std::string resp;
+    for (;;) {
+      const auto rc = reader.read_line(resp, deadline);
+      if (rc == net::LineReader::Result::kLine) {
+        if (resp.empty()) continue;
+        // The whole response is buffered before the client sees one
+        // byte, and every buffered line must look like a complete JSON
+        // object — a replica dying mid-line (serve_partial_write) is a
+        // transport failure here, never a torn line downstream.
+        if (resp.front() != '{' || resp.back() != '}') {
+          out.error = "malformed replica line: " + r.addr;
+          break;
+        }
+        out.payload += resp;
+        out.payload += '\n';
+        if (resp.find("\"done\"") != std::string::npos) {
+          const std::string status = json_field_string(resp, "status");
+          if (status == "rejected") {
+            out.kind = ForwardOutcome::Kind::kReject;
+            out.retry_after_ms = json_field_number(
+                resp, "retry_after_ms", cfg_.shed_retry_after_ms);
+          } else if (status == "shutdown") {
+            // The replica is draining and did no work: retryable.
+            out.kind = ForwardOutcome::Kind::kTransport;
+            out.error = "replica draining: " + r.addr;
+            out.payload.clear();
+          } else {
+            out.kind = ForwardOutcome::Kind::kOk;
+          }
+          break;
+        }
+      } else if (rc == net::LineReader::Result::kTimeout) {
+        out.kind = ForwardOutcome::Kind::kTimeout;
+        out.error = "replica timeout: " + r.addr;
+        break;
+      } else {
+        out.error = (rc == net::LineReader::Result::kEof
+                         ? "connection closed mid-response: "
+                         : "read error: ") +
+                    r.addr;
+        break;
+      }
+    }
+  }
+  if (cancel) {
+    cancel->disarm();
+    if (cancel->is_cancelled()) {
+      out = ForwardOutcome{};
+      out.kind = ForwardOutcome::Kind::kCancelled;
+    }
+  }
+  if (out.kind != ForwardOutcome::Kind::kOk &&
+      out.kind != ForwardOutcome::Kind::kReject) {
+    out.payload.clear();  // partial responses never leave the router
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string Router::stats_json() const {
+  std::string out =
+      "{\"done\": true, \"status\": \"ok\", \"cmd\": \"stats\", "
+      "\"router\": {\"backends\": ";
+  obs::json_number_into(out, static_cast<std::int64_t>(replicas_.size()));
+  out += ", \"inflight\": ";
+  obs::json_number_into(out, static_cast<std::int64_t>(inflight_.load()));
+  const auto emit_counter = [&out](const char* field, const char* name) {
+    out += ", \"";
+    out += field;
+    out += "\": ";
+    obs::json_number_into(out, obs::counter(name).value());
+  };
+  emit_counter("requests", "router.requests");
+  emit_counter("shed", "router.shed");
+  emit_counter("retries", "router.retries");
+  emit_counter("hedges", "router.hedges");
+  emit_counter("hedge_wins", "router.hedge_wins");
+  emit_counter("breaker_trips", "router.breaker_trips");
+  emit_counter("breaker_recoveries", "router.breaker_recoveries");
+  emit_counter("cache_hits", "router.cache_hits");
+  emit_counter("cache_misses", "router.cache_misses");
+  emit_counter("unavailable", "router.unavailable");
+  out += ", \"replicas\": [";
+  bool first = true;
+  for (const auto& snap : replica_snapshots()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"addr\": ";
+    obs::json_string_into(out, snap.addr);
+    out += ", \"breaker\": \"";
+    switch (snap.breaker) {
+      case CircuitBreaker::State::kClosed: out += "closed"; break;
+      case CircuitBreaker::State::kOpen: out += "open"; break;
+      case CircuitBreaker::State::kHalfOpen: out += "half_open"; break;
+    }
+    out += "\", \"healthy\": ";
+    out += snap.healthy ? "true" : "false";
+    out += ", \"failures\": ";
+    obs::json_number_into(out, static_cast<std::int64_t>(snap.failures));
+    out += ", \"successes\": ";
+    obs::json_number_into(out, static_cast<std::int64_t>(snap.successes));
+    out += "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared-cache client
+
+std::string Router::cache_key(const Request& req) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "t%d:n%d:T%.6g:s%llu",
+                static_cast<int>(req.type), req.n,
+                static_cast<double>(req.temperature),
+                static_cast<unsigned long long>(req.seed));
+  return buf;
+}
+
+bool Router::cache_connect_locked() {
+  if (cache_fd_ >= 0) return true;
+  std::string host;
+  int port = 0;
+  if (!split_addr(cfg_.cache_addr, &host, &port)) return false;
+  const int fd = net::connect_with_deadline(host, port, cfg_.probe_timeout_ms);
+  if (fd < 0) {
+    obs::log_every_n(obs::LogLevel::kWarn, "router.cache_unreachable", 20,
+                     {{"addr", cfg_.cache_addr}});
+    return false;
+  }
+  cache_fd_ = fd;
+  cache_reader_ = std::make_unique<net::LineReader>(fd);
+  return true;
+}
+
+void Router::cache_drop_locked() {
+  if (cache_fd_ >= 0) {
+    ::close(cache_fd_);
+    cache_fd_ = -1;
+  }
+  cache_reader_.reset();
+}
+
+bool Router::cache_get(const std::string& key, std::string* payload) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  // One retry: the persistent connection may have gone stale (sidecar
+  // restart) — reconnect once, then degrade to a miss.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!cache_connect_locked()) return false;
+    std::string req = "{\"cmd\": \"cache_get\", \"key\": ";
+    obs::json_string_into(req, key);
+    req += "}";
+    if (!net::send_line(cache_fd_, req)) {
+      cache_drop_locked();
+      continue;
+    }
+    std::string resp;
+    const auto rc = cache_reader_->read_line(
+        resp, Clock::now() + ms_duration(cfg_.probe_timeout_ms));
+    if (rc != net::LineReader::Result::kLine) {
+      cache_drop_locked();
+      continue;
+    }
+    std::string err;
+    auto parsed = parse_line(resp, &err);
+    if (!parsed || parsed->kind != ParsedLine::Kind::kCacheGet) return false;
+    if (parsed->value.empty()) return false;  // miss
+    *payload = std::move(parsed->value);
+    return true;
+  }
+  return false;
+}
+
+void Router::cache_put(const std::string& key, const std::string& payload) {
+  if (payload.empty() || payload.size() >= kMaxCacheValue - 2048) return;
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (!cache_connect_locked()) return;
+  std::string req = "{\"cmd\": \"cache_put\", \"key\": ";
+  obs::json_string_into(req, key);
+  req += ", \"value\": ";
+  obs::json_string_into(req, payload);
+  req += "}";
+  if (!net::send_line(cache_fd_, req)) {
+    cache_drop_locked();
+    return;
+  }
+  // Read-your-writes: the sidecar acks only once the entry is resident,
+  // so waiting for the ack here means the next get (from any router
+  // thread) hits.
+  std::string resp;
+  const auto rc = cache_reader_->read_line(
+      resp, Clock::now() + ms_duration(cfg_.probe_timeout_ms));
+  if (rc != net::LineReader::Result::kLine) cache_drop_locked();
+}
+
+std::vector<std::string> parse_backend_list(std::string_view spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view item = spec.substr(start, end - start);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.remove_suffix(1);
+    }
+    std::string host;
+    int port = 0;
+    if (!item.empty() && split_addr(item, &host, &port)) {
+      out.emplace_back(item);
+    }
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace eva::serve

@@ -10,11 +10,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/stats.hpp"
 #include "serve/timeline.hpp"
@@ -28,22 +30,18 @@ namespace {
 
 constexpr int kPollMs = 100;  // stop-flag observation granularity
 
-/// Write all of `data`, retrying on partial writes/EINTR. Under the
-/// serve_slow_client fault the payload trickles out in tiny chunks with
-/// pauses, exercising client-side read loops. Returns false when the
-/// peer went away.
+/// Write all of `data` (EINTR/EAGAIN/partial-write safe via
+/// net::send_all). Under the serve_slow_client fault the payload
+/// trickles out in tiny chunks with pauses, exercising client-side read
+/// loops. Returns false when the peer went away.
 bool write_all(int fd, std::string_view data, bool slow) {
-  const std::size_t chunk = slow ? 7 : data.size();
+  if (!slow) return net::send_all(fd, data);
   std::size_t off = 0;
   while (off < data.size()) {
-    const std::size_t want = std::min(chunk, data.size() - off);
-    const ssize_t n = ::send(fd, data.data() + off, want, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-    if (slow && off < data.size()) {
+    const std::size_t want = std::min<std::size_t>(7, data.size() - off);
+    if (!net::send_all(fd, data.substr(off, want))) return false;
+    off += want;
+    if (off < data.size()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
@@ -55,7 +53,20 @@ bool send_line(int fd, std::string line, bool slow) {
   return write_all(fd, line, slow);
 }
 
+double env_ms(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double ms = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(ms >= 0.0)) return fallback;
+  return ms;
+}
+
 }  // namespace
+
+double idle_ms_from_env(double fallback) {
+  return env_ms("EVA_SERVE_IDLE_MS", fallback);
+}
 
 JsonLineServer::JsonLineServer(GenerationService& service, ServerConfig cfg)
     : service_(&service), cfg_(std::move(cfg)) {}
@@ -63,6 +74,7 @@ JsonLineServer::JsonLineServer(GenerationService& service, ServerConfig cfg)
 JsonLineServer::~JsonLineServer() { stop(); }
 
 int JsonLineServer::listen_and_start() {
+  net::ignore_sigpipe();
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw ConfigError(std::string("serve: socket() failed: ") +
@@ -159,18 +171,34 @@ void JsonLineServer::accept_loop() {
 }
 
 void JsonLineServer::handle_connection(int fd) {
+  static obs::Counter& idle_c = obs::counter("serve.idle_timeouts");
   const bool slow =
       fault::enabled() && fault::should_fire("serve_slow_client");
   std::string buf;
   char chunk[4096];
   bool open = true;
+  auto last_activity = std::chrono::steady_clock::now();
   while (open && !stopping_.load()) {
     pollfd pfd{fd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, kPollMs);
     if (rc < 0 && errno != EINTR) break;
-    if (rc <= 0) continue;
+    if (rc <= 0) {
+      // A stalled client must not pin this handler thread forever: no
+      // bytes for idle_ms closes the connection.
+      if (cfg_.idle_ms > 0.0 &&
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - last_activity)
+                  .count() > cfg_.idle_ms) {
+        idle_c.add();
+        obs::log_every_n(obs::LogLevel::kWarn, "serve.idle_timeout", 10,
+                         {{"idle_ms", cfg_.idle_ms}});
+        break;
+      }
+      continue;
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;  // EOF or error: client is gone
+    last_activity = std::chrono::steady_clock::now();
     buf.append(chunk, static_cast<std::size_t>(n));
     if (buf.size() > 1 << 20) break;  // pathological line: hang up
 
@@ -193,6 +221,39 @@ void JsonLineServer::handle_connection(int fd) {
         open = send_line(fd, stats_response_json(*service_), slow);
         continue;
       }
+      if (parsed->kind != ParsedLine::Kind::kGenerate) {
+        open = send_line(
+            fd, bad_request_json("cache commands are answered by the sidecar"),
+            slow);
+        continue;
+      }
+      // Network fault sites, fired per generation request so occurrence
+      // counting is deterministic (the router's failover, the chaos
+      // gate, and test_router all key off these):
+      //   replica_crash      the whole process dies, as under SIGKILL
+      //   serve_conn_drop    hang up without answering
+      //   serve_stall        sit on the request, then answer normally
+      if (fault::enabled()) {
+        if (fault::should_fire("replica_crash")) {
+          obs::log_warn("fault.replica_crash_exit");
+          std::_Exit(137);
+        }
+        if (fault::should_fire("serve_conn_drop")) {
+          open = false;
+          break;
+        }
+        if (fault::should_fire("serve_stall")) {
+          const double stall_ms = env_ms("EVA_SERVE_STALL_FAULT_MS", 2000.0);
+          const auto until =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(stall_ms));
+          while (std::chrono::steady_clock::now() < until &&
+                 !stopping_.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }
+      }
       auto ticket = service_->submit(parsed->req);
       Response resp = ticket.response.get();
       // The response-write stage closes the request timeline: measured
@@ -203,10 +264,23 @@ void JsonLineServer::handle_connection(int fd) {
       const auto w0 = std::chrono::steady_clock::now();
       {
         obs::Span write_span("serve.request.write", ticket.id);
-        for (const Item& item : resp.items) {
-          if (!send_line(fd, item_to_json(item, ticket.id), slow)) {
-            open = false;
-            break;
+        // serve_partial_write: truncate the first response line mid-byte
+        // and hang up — the reader must treat the torn line as a
+        // transport failure, never as a parseable response.
+        if (fault::enabled() && fault::should_fire("serve_partial_write")) {
+          const std::string first = resp.items.empty()
+                                        ? done_to_json(resp)
+                                        : item_to_json(resp.items[0], ticket.id);
+          (void)write_all(fd, std::string_view(first).substr(0, first.size() / 2),
+                          slow);
+          open = false;
+        }
+        if (open) {
+          for (const Item& item : resp.items) {
+            if (!send_line(fd, item_to_json(item, ticket.id), slow)) {
+              open = false;
+              break;
+            }
           }
         }
         if (open) open = send_line(fd, done_to_json(resp), slow);

@@ -11,9 +11,22 @@
 //
 // Shutdown: stop() (or SIGTERM observed by run()) closes the listener,
 // wakes every handler, drains the service (completing all admitted
-// requests), and joins all threads. Fault sites: `serve_accept` drops a
-// freshly accepted connection, `serve_slow_client` trickles a response
-// out in tiny chunks (both driven by EVA_FAULT, util/fault.hpp).
+// requests), and joins all threads.
+//
+// Robustness: SIGPIPE is ignored process-wide (net::ignore_sigpipe), all
+// socket writes absorb EINTR/EAGAIN and partial writes (net::send_all),
+// and a connection that sends no bytes for idle_ms (EVA_SERVE_IDLE_MS)
+// is closed so a stalled client cannot pin a handler thread forever.
+//
+// Fault sites (EVA_FAULT, util/fault.hpp): `serve_accept` drops a
+// freshly accepted connection; `serve_slow_client` trickles a response
+// out in tiny chunks; `serve_conn_drop` hangs up after reading a
+// request without answering; `serve_partial_write` emits a truncated
+// response line then hangs up; `serve_stall` sits on a request for
+// EVA_SERVE_STALL_FAULT_MS before answering; `replica_crash` kills the
+// whole process (_Exit — what a SIGKILL looks like to peers). The last
+// four exist so the router's failover/retry/hedging paths are exercised
+// deterministically in tests and in the chaos gate.
 #pragma once
 
 #include <atomic>
@@ -27,9 +40,17 @@
 
 namespace eva::serve {
 
+/// Parse EVA_SERVE_IDLE_MS (fractional milliseconds; unset/invalid ->
+/// `fallback`). Exposed for the ServerConfig default initializer.
+[[nodiscard]] double idle_ms_from_env(double fallback);
+
 struct ServerConfig {
   std::string bind_addr = "127.0.0.1";
   int port = 7077;  // 0 = ephemeral (bound port returned by listen_and_start)
+  /// Per-connection idle read timeout: a connection that delivers no
+  /// bytes for this long is closed (serve.idle_timeouts counter). 0
+  /// disables. EVA_SERVE_IDLE_MS overrides.
+  double idle_ms = idle_ms_from_env(0.0);
 };
 
 class JsonLineServer {

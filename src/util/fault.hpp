@@ -17,7 +17,10 @@
 // Sites in use: io_write (util/io atomic writer), ckpt_write /
 // ckpt_bitflip (train/checkpoint), nan_grad (all three trainers),
 // spice_dc (spice/engine), fom_nan (spice/fom), reward_nan
-// (rl/reward_model), serve_accept / serve_slow_client (serve/server).
+// (rl/reward_model), serve_accept / serve_slow_client / serve_conn_drop /
+// serve_partial_write / serve_stall / replica_crash (serve/server — the
+// network-failure family the router's failover and the chaos gate are
+// tested against; replica_crash _Exit()s the whole process).
 //
 // With no spec active, should_fire is one relaxed atomic load.
 #pragma once

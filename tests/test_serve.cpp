@@ -657,6 +657,44 @@ TEST(TcpServer, AcceptFaultDropsFirstConnection) {
   fault::set_spec("");
 }
 
+TEST(TcpServer, IdleConnectionIsClosedAfterTimeout) {
+  train::clear_stop();
+  ServeFixture f(fast_config());
+  ServerConfig scfg;
+  scfg.port = 0;
+  scfg.idle_ms = 150.0;  // EVA_SERVE_IDLE_MS equivalent
+  JsonLineServer server(f.service, scfg);
+  const int port = server.listen_and_start();
+
+  const auto before = obs::counter("serve.idle_timeouts").value();
+  const int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  // Send nothing: the server must hang up on its own, surfacing as EOF
+  // here well before this generous deadline.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  char byte;
+  ssize_t n = -1;
+  while (std::chrono::steady_clock::now() < give_up) {
+    n = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+    if (n == 0) break;  // clean close from the server
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(n, 0) << "idle connection must be closed by the server";
+  EXPECT_GT(obs::counter("serve.idle_timeouts").value(), before);
+  ::close(fd);
+
+  // A connection that keeps talking is never idle-closed mid-exchange.
+  const int fd2 = connect_loopback(port);
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(send_all(fd2, "{\"seed\":8}\n"));
+  const auto lines = read_lines_until_done(fd2, 1);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("\"status\": \"ok\""), std::string::npos);
+  ::close(fd2);
+  server.stop();
+}
+
 // --- hardened ids_to_netlist --------------------------------------------------
 
 TEST(NetlistDecodeChecked, FlagsOutOfRangeTokens) {

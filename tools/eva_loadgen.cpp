@@ -25,14 +25,26 @@
 //               [--n N] [--temperature T] [--deadline-ms D]
 //               [--high-frac F] [--low-frac F] [--types a,b,...]
 //               [--warm-frac F] [--warm-seeds K] [--conns C]
+//               [--retry N] [--retry-base-ms B]
 //               [--seed S] [--out PATH] [--strict]
 //
 // Environment defaults: EVA_LOADGEN_RATE, EVA_LOADGEN_DURATION_SEC,
-// EVA_LOADGEN_CONNS, EVA_LOADGEN_OUT.
+// EVA_LOADGEN_CONNS, EVA_LOADGEN_RETRY, EVA_LOADGEN_OUT.
 //
-// Exit code: 0 when every request got a terminator; with --strict, also
-// requires every terminator to be "ok" (the CI gate runs at a low rate
-// where timeouts/rejects mean a regression).
+// --retry N re-sends a request up to N more times when its terminator
+// is "rejected"/"unavailable" (waiting the larger of the server's
+// retry_after_ms hint and an exponential-backoff delay from
+// serve/backoff.hpp — the same policy the router applies internally) or
+// when the transport fails mid-response (reconnect + resend). Every
+// response line is also checked for protocol integrity: a line that is
+// not a complete JSON object counts as "malformed" in the output JSON,
+// and any malformed line fails the run — the chaos gate's
+// zero-corruption assertion.
+//
+// Exit code: 0 when every request got a terminator and no line was
+// malformed; with --strict, also requires every terminator to be "ok"
+// (the CI gate runs at a low rate where timeouts/rejects mean a
+// regression).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -51,6 +63,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "serve/backoff.hpp"
 
 namespace {
 
@@ -81,6 +95,8 @@ struct Config {
   double warm_frac = 0.5;    // fraction reusing the warm seed pool
   int warm_seeds = 8;        // pool size: smaller = warmer
   int conns = static_cast<int>(env_double("EVA_LOADGEN_CONNS", 16));
+  int retry = static_cast<int>(env_double("EVA_LOADGEN_RETRY", 0));
+  double retry_base_ms = 25.0;  // backoff base for --retry
   std::uint64_t seed = 1;    // arrival + mix RNG
   std::string out = [] {
     const char* v = std::getenv("EVA_LOADGEN_OUT");
@@ -179,6 +195,8 @@ struct Outcome {
   double queue_ms = 0.0, decode_ms = 0.0, cache_ms = 0.0, verify_ms = 0.0;
   double tokens = 0.0;
   int items_valid = 0;
+  int retries = 0;    // extra attempts this request consumed
+  int malformed = 0;  // response lines that were not complete JSON objects
   bool has_stages = false;
 };
 
@@ -223,9 +241,13 @@ struct Dispatcher {
   bool closed = false;
 };
 
-void worker_loop(const Config& cfg, Dispatcher& disp, Aggregate& agg) {
+void worker_loop(const Config& cfg, int widx, Dispatcher& disp,
+                 Aggregate& agg) {
+  const eva::serve::BackoffPolicy backoff{cfg.retry, cfg.retry_base_ms,
+                                          1000.0};
   int fd = connect_to(cfg.host, cfg.port);
   std::string buf;
+  std::uint64_t attempt_seq = 0;
   for (;;) {
     std::pair<Shot, Clock::time_point> job;
     {
@@ -239,36 +261,77 @@ void worker_loop(const Config& cfg, Dispatcher& disp, Aggregate& agg) {
     oc.skew_ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                            job.second)
                      .count();
-    if (fd < 0) fd = connect_to(cfg.host, cfg.port);  // lazy reconnect
     const auto t0 = Clock::now();
     bool got_done = false;
-    if (fd >= 0 && send_line(fd, job.first.payload)) {
-      std::string line;
-      while (read_line(fd, buf, line)) {
-        if (line.find("\"valid\": true") != std::string::npos) {
-          ++oc.items_valid;
+    for (int attempt = 0; attempt <= cfg.retry; ++attempt) {
+      if (attempt > 0) ++oc.retries;
+      if (fd < 0) fd = connect_to(cfg.host, cfg.port);  // lazy reconnect
+      if (fd < 0) break;
+      got_done = false;
+      oc.status.clear();
+      std::string done_line;
+      if (send_line(fd, job.first.payload)) {
+        std::string line;
+        oc.items_valid = 0;
+        while (read_line(fd, buf, line)) {
+          // Integrity check: every line the server emits must be one
+          // complete JSON object — a torn line (e.g. a replica killed
+          // mid-write) is protocol corruption and fails the whole run.
+          if (line.empty() || line.front() != '{' || line.back() != '}') {
+            ++oc.malformed;
+            break;
+          }
+          if (line.find("\"valid\": true") != std::string::npos) {
+            ++oc.items_valid;
+          }
+          if (line.find("\"done\"") == std::string::npos) continue;
+          got_done = true;
+          done_line = line;
+          oc.client_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count();
+          oc.status = find_string(line, "status");
+          find_number(line, "latency_ms", &oc.server_ms);
+          double v = 0.0;
+          oc.has_stages = find_number(line, "queue_ms", &oc.queue_ms);
+          find_number(line, "decode_ms", &oc.decode_ms);
+          find_number(line, "cache_ms", &oc.cache_ms);
+          find_number(line, "verify_ms", &oc.verify_ms);
+          if (find_number(line, "tokens", &v)) oc.tokens = v;
+          break;
         }
-        if (line.find("\"done\"") == std::string::npos) continue;
-        got_done = true;
-        oc.client_ms =
-            std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                .count();
-        oc.status = find_string(line, "status");
-        find_number(line, "latency_ms", &oc.server_ms);
-        double v = 0.0;
-        oc.has_stages = find_number(line, "queue_ms", &oc.queue_ms);
-        find_number(line, "decode_ms", &oc.decode_ms);
-        find_number(line, "cache_ms", &oc.cache_ms);
-        find_number(line, "verify_ms", &oc.verify_ms);
-        if (find_number(line, "tokens", &v)) oc.tokens = v;
-        break;
       }
-    }
-    if (!got_done) {
-      // Transport failure: drop the connection so the next job reconnects.
-      if (fd >= 0) ::close(fd);
-      fd = -1;
-      buf.clear();
+      if (!got_done) {
+        // Transport failure: drop the connection so the retry (or the
+        // next job) reconnects from scratch.
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+        buf.clear();
+        if (attempt < cfg.retry) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff.delay_ms(
+                  attempt + 1,
+                  cfg.seed ^ static_cast<std::uint64_t>(widx) << 32 ^
+                      ++attempt_seq)));
+        }
+        continue;
+      }
+      // Backpressure terminators are retryable while budget remains,
+      // waiting the larger of the server's hint and the backoff delay.
+      if ((oc.status == "rejected" || oc.status == "unavailable") &&
+          attempt < cfg.retry) {
+        double hint_ms = 0.0;
+        find_number(done_line, "retry_after_ms", &hint_ms);
+        const double wait_ms = std::max(
+            hint_ms,
+            backoff.delay_ms(attempt + 1,
+                             cfg.seed ^ static_cast<std::uint64_t>(widx) << 32 ^
+                                 ++attempt_seq));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(wait_ms));
+        continue;
+      }
+      break;
     }
     std::lock_guard<std::mutex> lk(agg.mu);
     agg.outcomes.push_back(std::move(oc));
@@ -331,6 +394,8 @@ int main(int argc, char** argv) {
     else if (arg == "--warm-frac") cfg.warm_frac = std::atof(next());
     else if (arg == "--warm-seeds") cfg.warm_seeds = std::atoi(next());
     else if (arg == "--conns") cfg.conns = std::max(1, std::atoi(next()));
+    else if (arg == "--retry") cfg.retry = std::max(0, std::atoi(next()));
+    else if (arg == "--retry-base-ms") cfg.retry_base_ms = std::atof(next());
     else if (arg == "--seed") cfg.seed = static_cast<std::uint64_t>(
         std::strtoull(next(), nullptr, 10));
     else if (arg == "--out") cfg.out = next();
@@ -376,7 +441,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(cfg.conns));
   for (int i = 0; i < cfg.conns; ++i) {
-    workers.emplace_back([&] { worker_loop(cfg, disp, agg); });
+    workers.emplace_back([&, i] { worker_loop(cfg, i, disp, agg); });
   }
 
   // Open-loop dispatch: release each shot at its scheduled instant, no
@@ -420,10 +485,13 @@ int main(int argc, char** argv) {
   std::vector<double> queue_ms, decode_ms, cache_ms, verify_ms, sum_ms;
   std::size_t n_ok = 0, n_timeout = 0, n_rejected = 0, n_other = 0,
               n_transport = 0;
+  long long n_retries = 0, n_malformed = 0;
   long long valid_items = 0;
   double tokens = 0.0;
   for (const Outcome& oc : agg.outcomes) {
     skew_ms.push_back(oc.skew_ms);
+    n_retries += oc.retries;
+    n_malformed += oc.malformed;
     if (oc.status.empty()) {
       ++n_transport;
       continue;
@@ -477,8 +545,10 @@ int main(int argc, char** argv) {
                static_cast<double>(shots.size()) / cfg.duration_s);
   std::fprintf(f,
                "    \"counts\": {\"ok\": %zu, \"timeout\": %zu, \"rejected\": "
-               "%zu, \"other\": %zu, \"transport_error\": %zu},\n",
-               n_ok, n_timeout, n_rejected, n_other, n_transport);
+               "%zu, \"other\": %zu, \"transport_error\": %zu, \"malformed\": "
+               "%lld, \"retries\": %lld},\n",
+               n_ok, n_timeout, n_rejected, n_other, n_transport, n_malformed,
+               n_retries);
   std::fprintf(f, "    \"goodput_rps\": %.6g,\n",
                wall_s > 0.0 ? static_cast<double>(n_ok) / wall_s : 0.0);
   std::fprintf(f, "    \"valid_circuits\": %lld,\n", valid_items);
@@ -512,13 +582,16 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "eva_loadgen: ok=%zu timeout=%zu rejected=%zu other=%zu "
-               "transport=%zu goodput=%.2f rps p50=%.1fms p99=%.1fms "
-               "stage_coverage=%.3f -> %s\n",
-               n_ok, n_timeout, n_rejected, n_other, n_transport,
+               "transport=%zu malformed=%lld retries=%lld goodput=%.2f rps "
+               "p50=%.1fms p99=%.1fms stage_coverage=%.3f -> %s\n",
+               n_ok, n_timeout, n_rejected, n_other, n_transport, n_malformed,
+               n_retries,
                wall_s > 0.0 ? static_cast<double>(n_ok) / wall_s : 0.0,
                percentile(client_ms, 50.0), percentile(client_ms, 99.0),
                stage_coverage, cfg.out.c_str());
 
+  // Protocol corruption is never acceptable, at any strictness level.
+  if (n_malformed > 0) return 1;
   const bool all_answered = n_transport == 0 &&
                             agg.outcomes.size() == shots.size();
   if (!all_answered) return 1;

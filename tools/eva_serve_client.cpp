@@ -2,6 +2,7 @@
 //
 // Usage:
 //   eva_serve_client [--host H] [--port P] [--repeat K] [--burst]
+//                    [--retry N] [--retry-base-ms B]
 //                    ['{"type":"OpAmp","n":2}' ...]
 //
 // Each positional argument is sent as one request line; with no
@@ -11,6 +12,13 @@
 // request lines up front and only then starts reading — with a small
 // server queue this overflows admission and exercises the backpressure
 // path (the CI smoke job relies on this).
+//
+// --retry N resends a request whose terminator came back "rejected" or
+// "unavailable" up to N more times, waiting the larger of the server's
+// retry_after_ms hint and an exponential-backoff delay with jitter
+// (serve/backoff.hpp — the same policy the router applies internally).
+// Transport failures mid-response reconnect and retry too. Retries are
+// sequential-mode only (--burst pipelines blind, so it cannot retry).
 //
 // Exit code 0 when every expected terminator line arrived, 1 otherwise.
 // Connection attempts retry for ~5 s so the client can be launched
@@ -28,6 +36,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "serve/backoff.hpp"
 
 namespace {
 
@@ -63,8 +73,10 @@ bool send_line(int fd, const std::string& line) {
 }
 
 /// Read lines until `want_done` terminator lines have been seen (or EOF).
-/// Returns the number of terminators observed.
-int read_until_done(int fd, std::string& buf, int want_done) {
+/// Returns the number of terminators observed; when `last_done` is
+/// non-null it receives the final terminator line (for retry decisions).
+int read_until_done(int fd, std::string& buf, int want_done,
+                    std::string* last_done = nullptr) {
   int done_seen = 0;
   char chunk[4096];
   while (done_seen < want_done) {
@@ -74,7 +86,10 @@ int read_until_done(int fd, std::string& buf, int want_done) {
       const std::string line = buf.substr(0, nl);
       buf.erase(0, nl + 1);
       std::printf("%s\n", line.c_str());
-      if (line.find("\"done\"") != std::string::npos) ++done_seen;
+      if (line.find("\"done\"") != std::string::npos) {
+        ++done_seen;
+        if (last_done) *last_done = line;
+      }
     }
     if (done_seen >= want_done) break;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -84,6 +99,20 @@ int read_until_done(int fd, std::string& buf, int want_done) {
   return done_seen;
 }
 
+/// Should this terminator be retried, and after how long? The server's
+/// retry_after_ms hint is honored when it exceeds the backoff delay.
+bool wants_retry(const std::string& done_line, double* hint_ms) {
+  const bool backpressure =
+      done_line.find("\"status\": \"rejected\"") != std::string::npos ||
+      done_line.find("\"status\": \"unavailable\"") != std::string::npos;
+  if (!backpressure) return false;
+  const std::size_t at = done_line.find("\"retry_after_ms\": ");
+  if (at != std::string::npos) {
+    *hint_ms = std::strtod(done_line.c_str() + at + 18, nullptr);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +120,8 @@ int main(int argc, char** argv) {
   int port = 7077;
   int repeat = 1;
   bool burst = false;
+  eva::serve::BackoffPolicy backoff{/*max_retries=*/0, /*base_ms=*/25.0,
+                                    /*max_ms=*/1000.0};
   std::vector<std::string> requests;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +132,10 @@ int main(int argc, char** argv) {
       port = std::atoi(argv[++i]);
     } else if (arg == "--repeat" && i + 1 < argc) {
       repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--retry" && i + 1 < argc) {
+      backoff.max_retries = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--retry-base-ms" && i + 1 < argc) {
+      backoff.base_ms = std::atof(argv[++i]);
     } else if (arg == "--burst") {
       burst = true;
     } else {
@@ -109,7 +144,7 @@ int main(int argc, char** argv) {
   }
   if (requests.empty()) requests.emplace_back("{}");
 
-  const int fd = connect_with_retry(host, port);
+  int fd = connect_with_retry(host, port);
   if (fd < 0) {
     std::fprintf(stderr, "eva_serve_client: cannot connect to %s:%d\n", host,
                  port);
@@ -118,6 +153,7 @@ int main(int argc, char** argv) {
 
   const int total = repeat * static_cast<int>(requests.size());
   int done_seen = 0;
+  int retries = 0;
   std::string buf;
   bool write_ok = true;
   if (burst) {
@@ -131,19 +167,52 @@ int main(int argc, char** argv) {
     }
     done_seen = read_until_done(fd, buf, total);
   } else {
+    std::uint64_t attempt_seq = 0;
     for (int k = 0; write_ok && k < repeat; ++k) {
       for (const auto& r : requests) {
-        if (!send_line(fd, r)) {
+        bool answered = false;
+        for (int attempt = 0; attempt <= backoff.max_retries; ++attempt) {
+          if (attempt > 0) ++retries;
+          if (fd < 0) fd = connect_with_retry(host, port);
+          if (fd < 0) break;
+          if (!send_line(fd, r)) {
+            // Stale connection (server restarted): reconnect and retry.
+            ::close(fd);
+            fd = -1;
+            buf.clear();
+            continue;
+          }
+          std::string done_line;
+          if (read_until_done(fd, buf, 1, &done_line) != 1) {
+            ::close(fd);
+            fd = -1;
+            buf.clear();
+            continue;
+          }
+          double hint_ms = 0.0;
+          if (!wants_retry(done_line, &hint_ms) ||
+              attempt == backoff.max_retries) {
+            answered = true;
+            break;
+          }
+          const double wait_ms = std::max(
+              hint_ms, backoff.delay_ms(attempt + 1, 0x5eed ^ ++attempt_seq));
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(wait_ms));
+        }
+        if (answered) {
+          ++done_seen;
+        } else if (fd < 0) {
           write_ok = false;
           break;
         }
-        done_seen += read_until_done(fd, buf, 1);
       }
     }
   }
-  ::close(fd);
+  if (fd >= 0) ::close(fd);
 
-  std::fprintf(stderr, "eva_serve_client: %d/%d responses complete\n",
-               done_seen, total);
+  std::fprintf(stderr,
+               "eva_serve_client: %d/%d responses complete (%d retries)\n",
+               done_seen, total, retries);
   return (write_ok && done_seen == total) ? 0 : 1;
 }
