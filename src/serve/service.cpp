@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <type_traits>
+#include <unordered_map>
 
 #include "circuit/canon.hpp"
 #include "obs/log.hpp"
@@ -13,6 +16,7 @@
 #include "spice/engine.hpp"
 #include "spice/fom.hpp"
 #include "train/signal.hpp"
+#include "util/parallel.hpp"
 
 namespace eva::serve {
 
@@ -34,6 +38,15 @@ double slow_warn_ms_from_env(double fallback) {
   const double ms = std::strtod(v, &end);
   if (end == v || *end != '\0' || !(ms >= 0.0)) return fallback;
   return ms;
+}
+
+double surrogate_keep_from_env(double fallback) {
+  const char* v = std::getenv("EVA_SURROGATE_KEEP");
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double keep = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(keep >= 0.0)) return fallback;
+  return keep;
 }
 
 namespace {
@@ -88,6 +101,17 @@ GenerationService::GenerationService(nn::TransformerLM& model,
   obs::log_info("serve.backend",
                 {{"quant", tensor::quant_kind_name(cfg_.quant)},
                  {"gemm_backend", tensor::gemm_backend_name()}});
+  if (cfg_.surrogate) {
+    const double acc = cfg_.surrogate->ranking_accuracy();
+    if (std::isfinite(acc)) {
+      obs::gauge("surrogate.ranking_accuracy").set(acc);
+    }
+    obs::log_info(
+        "serve.surrogate",
+        {{"keep_frac", cfg_.surrogate_keep},
+         {"quant", tensor::quant_kind_name(cfg_.surrogate->quant())},
+         {"ranking_accuracy", acc}});
+  }
 }
 
 GenerationService::~GenerationService() { drain(); }
@@ -272,46 +296,163 @@ Response GenerationService::execute(Pending& p, Rng& service_rng) {
   tl.tokens = dstats.tokens;
   tl.decode_steps = dstats.steps;
 
+  // Verification is phased so the whole request can be batched: decode
+  // every candidate, look them all up in the cache, run the surrogate
+  // pre-filter (when configured) over the decoded set in one scoring
+  // pass, then fan the surviving Mini-SPICE evaluations across the
+  // thread pool instead of paying DC + AC serially per item.
   obs::Span verify_span("serve.request.verify", p.id);
-  r.items.reserve(results.size());
-  for (auto& res : results) {
-    Item item;
-    item.ids = std::move(res.ids);
-    // Token->netlist decode and the SPICE-format dump are attributed to
-    // the decode stage: they are per-token, model-output-shaped work.
-    auto dec = timed_stage(tl, Stage::kDecode, [&] {
-      return nn::ids_to_netlist_checked(*tok_, item.ids);
-    });
-    if (dec.netlist) {
+  const std::size_t n_items = results.size();
+  r.items.resize(n_items);
+  std::vector<std::optional<circuit::Netlist>> netlists(n_items);
+  std::vector<std::uint64_t> keys(n_items, 0);
+
+  // Token->netlist decode and the SPICE-format dump are attributed to
+  // the decode stage: they are per-token, model-output-shaped work.
+  timed_stage(tl, Stage::kDecode, [&] {
+    for (std::size_t i = 0; i < n_items; ++i) {
+      Item& item = r.items[i];
+      item.ids = std::move(results[i].ids);
+      auto dec = nn::ids_to_netlist_checked(*tok_, item.ids);
+      if (!dec.netlist) continue;
       item.decoded = true;
-      const circuit::Netlist& nl = *dec.netlist;
-      std::uint64_t key = 0;
-      timed_stage(tl, Stage::kDecode, [&] {
-        item.netlist = nl.to_spice();
-        key = ResultCache::key_for(circuit::canonical_hash(nl),
-                                   static_cast<int>(p.req.type));
-      });
-      const auto hit =
-          timed_stage(tl, Stage::kCache, [&] { return cache_.get(key); });
-      if (hit) {
-        item.valid = hit->valid;
-        item.fom = hit->fom;
-        item.cached = true;
+      item.netlist = dec.netlist->to_spice();
+      keys[i] = ResultCache::key_for(circuit::canonical_hash(*dec.netlist),
+                                     static_cast<int>(p.req.type));
+      netlists[i] = std::move(*dec.netlist);
+    }
+  });
+
+  // Cache pass. `misses` holds one index per *unique* uncached key, in
+  // request order; duplicates of an earlier miss attach to it via
+  // `dup_of` and share its verdict afterwards (marked cached, exactly
+  // as the second serial lookup used to hit the fresh insert).
+  std::vector<std::size_t> misses;
+  std::vector<std::size_t> dup_of(n_items, SIZE_MAX);
+  timed_stage(tl, Stage::kCache, [&] {
+    std::unordered_map<std::uint64_t, std::size_t> first_miss;
+    for (std::size_t i = 0; i < n_items; ++i) {
+      if (!r.items[i].decoded) continue;
+      if (const auto hit = cache_.get(keys[i])) {
+        r.items[i].valid = hit->valid;
+        r.items[i].fom = hit->fom;
+        r.items[i].cached = true;
+        continue;
+      }
+      const auto [it, inserted] = first_miss.emplace(keys[i], i);
+      if (inserted) {
+        misses.push_back(i);
       } else {
-        CachedEval ev;
-        timed_stage(tl, Stage::kVerify, [&] {
-          ev.valid = spice::simulatable(nl);
-          if (ev.valid && cfg_.evaluate_fom) {
-            const auto perf = spice::evaluate_default(nl, p.req.type);
-            if (perf.ok && std::isfinite(perf.fom)) ev.fom = perf.fom;
-          }
-        });
-        timed_stage(tl, Stage::kCache, [&] { cache_.put(key, ev); });
-        item.valid = ev.valid;
-        item.fom = ev.fom;
+        dup_of[i] = it->second;
       }
     }
-    r.items.push_back(std::move(item));
+  });
+
+  // Surrogate pre-filter: score every decoded candidate in one batched
+  // pass, then keep only the top fraction of the unique misses for real
+  // SPICE work. Cached items keep their verified verdicts regardless.
+  std::vector<std::size_t> kept = misses;
+  if (cfg_.surrogate && !misses.empty()) {
+    static obs::Counter& scored_c = obs::counter("serve.surrogate.scored");
+    static obs::Counter& kept_c = obs::counter("serve.surrogate.kept");
+    static obs::Counter& skipped_c =
+        obs::counter("serve.surrogate.skipped_spice");
+    obs::Span surrogate_span("serve.request.surrogate", p.id);
+    timed_stage(tl, Stage::kSurrogate, [&] {
+      std::vector<const std::vector<int>*> seqs;
+      std::vector<std::size_t> scored_idx;
+      for (std::size_t i = 0; i < n_items; ++i) {
+        if (!r.items[i].decoded) continue;
+        seqs.push_back(&r.items[i].ids);
+        scored_idx.push_back(i);
+      }
+      const auto scores = cfg_.surrogate->score_batch(seqs);
+      scored_c.add(static_cast<std::int64_t>(seqs.size()));
+      for (std::size_t k = 0; k < scored_idx.size(); ++k) {
+        r.items[scored_idx[k]].surrogate_score = scores[k];
+      }
+      // Rank the unique misses by score, best first; non-finite scores
+      // sort last (a NaN-scoring surrogate degrades to keeping the
+      // request-order head, never crashes the comparator).
+      std::sort(kept.begin(), kept.end(), [&](std::size_t a, std::size_t b) {
+        const float sa = r.items[a].surrogate_score;
+        const float sb = r.items[b].surrogate_score;
+        const bool fa = std::isfinite(sa);
+        const bool fb = std::isfinite(sb);
+        if (fa != fb) return fa;
+        if (fa && sa != sb) return sa > sb;
+        return a < b;
+      });
+      const double keep = cfg_.surrogate_keep;
+      std::size_t n_keep = misses.size();
+      if (keep <= 0.0) {
+        n_keep = 0;
+      } else if (keep < 1.0) {
+        n_keep = std::clamp<std::size_t>(
+            static_cast<std::size_t>(
+                std::ceil(keep * static_cast<double>(misses.size()))),
+            1, misses.size());
+      }  // keep >= 1 or NaN: verify everything
+      kept.resize(n_keep);
+      std::vector<bool> is_kept(n_items, false);
+      for (const std::size_t i : kept) is_kept[i] = true;
+      std::int64_t skipped = 0;
+      for (const std::size_t i : misses) {
+        if (!is_kept[i]) {
+          r.items[i].surrogate = true;
+          ++skipped;
+        }
+      }
+      kept_c.add(static_cast<std::int64_t>(n_keep));
+      skipped_c.add(skipped);
+      // Restore request order so the verify fan-out and the cache
+      // inserts below stay deterministic.
+      std::sort(kept.begin(), kept.end());
+    });
+  }
+
+  // Batched verify: the surviving evaluations (DC operating point + AC
+  // sweep each) are independent per netlist, so they fan out across the
+  // thread pool; obs counters inside the SPICE engine are atomic.
+  if (!kept.empty()) {
+    std::vector<CachedEval> evals(kept.size());
+    timed_stage(tl, Stage::kVerify, [&] {
+      parallel_for(0, kept.size(), [&](std::size_t k) {
+        const circuit::Netlist& nl = *netlists[kept[k]];
+        CachedEval ev;
+        ev.valid = spice::simulatable(nl);
+        if (ev.valid && cfg_.evaluate_fom) {
+          const auto perf =
+              spice::evaluate(nl, spice::default_sizing(nl), p.req.type,
+                              cfg_.sim);
+          if (perf.ok && std::isfinite(perf.fom)) ev.fom = perf.fom;
+        }
+        evals[k] = ev;
+      });
+    });
+    timed_stage(tl, Stage::kCache, [&] {
+      for (std::size_t k = 0; k < kept.size(); ++k) {
+        const std::size_t i = kept[k];
+        cache_.put(keys[i], evals[k]);
+        r.items[i].valid = evals[k].valid;
+        r.items[i].fom = evals[k].fom;
+      }
+    });
+  }
+
+  // Duplicates inherit their primary's outcome: a verified primary makes
+  // them cache hits (the insert above), a filtered primary filters them
+  // too — either way no extra SPICE runs.
+  for (std::size_t i = 0; i < n_items; ++i) {
+    if (dup_of[i] == SIZE_MAX) continue;
+    const Item& primary = r.items[dup_of[i]];
+    if (primary.surrogate) {
+      r.items[i].surrogate = true;
+    } else {
+      r.items[i].valid = primary.valid;
+      r.items[i].fom = primary.fom;
+      r.items[i].cached = true;
+    }
   }
   r.status = Status::kOk;
   return r;
@@ -356,6 +497,7 @@ void GenerationService::finish(Pending& p, Response&& r) {
          {"queue_ms", r.timeline.ms(Stage::kQueue)},
          {"decode_ms", r.timeline.ms(Stage::kDecode)},
          {"cache_ms", r.timeline.ms(Stage::kCache)},
+         {"surrogate_ms", r.timeline.ms(Stage::kSurrogate)},
          {"verify_ms", r.timeline.ms(Stage::kVerify)},
          {"tokens", r.timeline.tokens}});
   }

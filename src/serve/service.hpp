@@ -48,6 +48,8 @@
 #include "nn/transformer.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/timeline.hpp"
+#include "spice/engine.hpp"
+#include "surrogate/scorer.hpp"
 
 namespace eva::obs {
 class Counter;
@@ -74,6 +76,12 @@ enum class Status {
 /// `fallback`). Exposed for the ServiceConfig default initializer.
 [[nodiscard]] double slow_warn_ms_from_env(double fallback);
 
+/// Parse EVA_SURROGATE_KEEP (fraction of cache-miss candidates that
+/// still run Mini-SPICE when the surrogate pre-filter is active;
+/// unset/invalid -> `fallback`). Exposed for the ServiceConfig default
+/// initializer.
+[[nodiscard]] double surrogate_keep_from_env(double fallback);
+
 /// One generation request. `seed` selects a reproducible RNG stream for
 /// the request (0 = draw from the service's own stream): identical
 /// {seed, n, temperature} requests generate identical topologies, which
@@ -96,6 +104,14 @@ struct Item {
   bool valid = false;     // simulatable (validity predicate)
   double fom = 0.0;       // figure of merit (0 when invalid)
   bool cached = false;    // evaluation came from the ResultCache
+  /// The surrogate pre-filter dropped this candidate: SPICE never ran,
+  /// so valid/fom are the unverified defaults (false/0). Clients use
+  /// this to tell "verified invalid" from "filtered out".
+  bool surrogate = false;
+  /// Pre-filter score (expected rank reward) when a scorer ran on this
+  /// item; 0 when the service has no surrogate or the item never
+  /// decoded.
+  float surrogate_score = 0.0f;
 };
 
 struct Response {
@@ -134,6 +150,21 @@ struct ServiceConfig {
   /// disables the budget check (deadline overruns still warn).
   /// EVA_SERVE_SLOW_MS overrides.
   double slow_warn_ms = slow_warn_ms_from_env(0.0);
+  /// Learned FoM surrogate pre-filter (DESIGN.md §15). When set, every
+  /// decoded candidate is scored in one batched pass and only the top
+  /// `surrogate_keep` fraction of cache misses runs Newton DC + the AC
+  /// sweep; the rest are answered unverified with Item::surrogate set.
+  /// Null (the default) keeps the verify-everything path.
+  std::shared_ptr<const surrogate::SurrogateScorer> surrogate;
+  /// Fraction of cache-miss candidates that survive the pre-filter
+  /// (ceil(keep * misses), at least 1 while keep > 0). <= 0 keeps none;
+  /// >= 1 (or NaN) keeps all. EVA_SURROGATE_KEEP overrides.
+  double surrogate_keep = surrogate_keep_from_env(0.25);
+  /// Simulation options for the verify stage. sim.ac_points sets the AC
+  /// sweep resolution (cost is linear in points); EVA_AC_POINTS raises it
+  /// to model SPICE-bound verification, the regime the surrogate
+  /// pre-filter targets.
+  spice::SimOptions sim;
 };
 
 class GenerationService {

@@ -47,7 +47,7 @@ Performance eval_smallsignal(const Netlist& nl, const Sizing& sz,
     Simulator sim(nl, sz, opts);
     if (!sim.solve_dc()) return perf;
     perf.power_w = std::max(sim.supply_power(), 1e-9);
-    const auto sweep = sim.ac_sweep();
+    const auto sweep = sim.ac_sweep(1.0, 1e10, std::max(opts.ac_points, 2));
     if (sweep.empty()) return perf;
 
     const double a0 = std::abs(sweep.front().h);

@@ -264,6 +264,36 @@ TEST(Fom, OpAmpEvaluates) {
   FAIL() << "no generated op-amp produced a DC point";
 }
 
+TEST(Fom, AcPointsScalesSweepNotVerdict) {
+  // The verification-fidelity knob (SimOptions::ac_points / EVA_AC_POINTS)
+  // changes AC sweep cost, not which circuits pass: a denser sweep must
+  // still evaluate ok with a gain within a whisker of the default, and
+  // the floor of 2 points must not crash.
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Netlist nl = eva::data::gen_opamp(rng);
+    const auto base = evaluate_default(nl, CircuitType::OpAmp);
+    if (!base.ok) continue;
+    SimOptions dense;
+    dense.ac_points = 501;
+    const auto hi = evaluate(nl, default_sizing(nl), CircuitType::OpAmp,
+                             dense);
+    ASSERT_TRUE(hi.ok);
+    // Low-frequency gain comes from the first sweep point (1 Hz in both
+    // sweeps), so it is resolution-independent.
+    EXPECT_NEAR(hi.gain, base.gain, 1e-9 * std::abs(base.gain));
+    // The denser grid brackets the -3 dB crossing at least as tightly.
+    EXPECT_GT(hi.bw_hz, 0.0);
+    SimOptions floor_opts;
+    floor_opts.ac_points = 1;  // clamped to 2 inside evaluate
+    const auto lo = evaluate(nl, default_sizing(nl), CircuitType::OpAmp,
+                             floor_opts);
+    EXPECT_TRUE(lo.ok);
+    return;
+  }
+  FAIL() << "no generated op-amp produced a DC point";
+}
+
 TEST(Fom, BuckConverterStepsDown) {
   // Non-synchronous buck built explicitly.
   NetBuilder b;

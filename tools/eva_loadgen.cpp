@@ -193,6 +193,7 @@ struct Outcome {
   double server_ms = 0.0;   // terminator latency_ms
   double skew_ms = 0.0;     // scheduled -> actually sent (client-side lag)
   double queue_ms = 0.0, decode_ms = 0.0, cache_ms = 0.0, verify_ms = 0.0;
+  double surrogate_ms = 0.0;
   double tokens = 0.0;
   int items_valid = 0;
   int retries = 0;    // extra attempts this request consumed
@@ -296,6 +297,7 @@ void worker_loop(const Config& cfg, int widx, Dispatcher& disp,
           oc.has_stages = find_number(line, "queue_ms", &oc.queue_ms);
           find_number(line, "decode_ms", &oc.decode_ms);
           find_number(line, "cache_ms", &oc.cache_ms);
+          find_number(line, "surrogate_ms", &oc.surrogate_ms);
           find_number(line, "verify_ms", &oc.verify_ms);
           if (find_number(line, "tokens", &v)) oc.tokens = v;
           break;
@@ -482,7 +484,8 @@ int main(int argc, char** argv) {
 
   // Aggregate.
   std::vector<double> client_ms, server_ms, skew_ms;
-  std::vector<double> queue_ms, decode_ms, cache_ms, verify_ms, sum_ms;
+  std::vector<double> queue_ms, decode_ms, cache_ms, surrogate_ms, verify_ms,
+      sum_ms;
   std::size_t n_ok = 0, n_timeout = 0, n_rejected = 0, n_other = 0,
               n_transport = 0;
   long long n_retries = 0, n_malformed = 0;
@@ -506,9 +509,10 @@ int main(int argc, char** argv) {
         queue_ms.push_back(oc.queue_ms);
         decode_ms.push_back(oc.decode_ms);
         cache_ms.push_back(oc.cache_ms);
+        surrogate_ms.push_back(oc.surrogate_ms);
         verify_ms.push_back(oc.verify_ms);
         sum_ms.push_back(oc.queue_ms + oc.decode_ms + oc.cache_ms +
-                         oc.verify_ms);
+                         oc.surrogate_ms + oc.verify_ms);
       }
     } else if (oc.status == "timeout") {
       ++n_timeout;
@@ -568,6 +572,8 @@ int main(int argc, char** argv) {
   percentiles_json(f, "decode_ms", decode_ms);
   std::fprintf(f, ", ");
   percentiles_json(f, "cache_ms", cache_ms);
+  std::fprintf(f, ", ");
+  percentiles_json(f, "surrogate_ms", surrogate_ms);
   std::fprintf(f, ", ");
   percentiles_json(f, "verify_ms", verify_ms);
   std::fprintf(f, ", ");

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Surrogate gate (CI "surrogate gate" step): prove the learned FoM
+# surrogate subsystem (DESIGN.md §15) earns its place on the hot path.
+#
+# Usage: tools/surrogate_gate.sh <build-dir> [out.json]
+#
+# Two assertions:
+#   1. Training: a quick-scale eva_surrogate_train run (reward-model
+#      labeling pipeline + pooled-embedding MLP) must reach pairwise
+#      ranking accuracy >= 0.70 and beat chance on class accuracy — a
+#      filter that cannot order candidates would shed discoveries, not
+#      just work.
+#   2. Serving ROI: the paired BM_ServeThroughputSurrogate window (the
+#      same seeded cold-cache request through surrogate-on keep=0.25 and
+#      surrogate-off services, interleaved in one process so machine
+#      drift cancels) must show the on variant strictly faster at both
+#      widths.
+#
+# The bench JSON is left at $out for artifact upload.
+set -euo pipefail
+
+build_dir=${1:?usage: surrogate_gate.sh <build-dir> [out.json]}
+out=${2:-BENCH_surrogate.json}
+train_bin="$build_dir/tools/eva_surrogate_train"
+bench_bin="$build_dir/bench/bench_micro"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== surrogate gate: quick-scale training run =="
+"$train_bin" --out "$work/ckpt" --steps 150 --per-type 16 \
+  >"$work/train.json"
+cat "$work/train.json"
+python3 - "$work/train.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+acc = r["ranking_accuracy"]
+assert acc >= 0.70, f"ranking accuracy {acc:.3f} below the 0.70 gate"
+assert r["class_accuracy"] > 1.0 / 3.0, "classifier no better than chance"
+print(f"ranking accuracy {acc:.3f} >= 0.70")
+EOF
+
+# The checkpoint the trainer left must load back into a fresh head (the
+# serving path EVA_SURROGATE_CKPT exercises).
+"$train_bin" --out "$work/ckpt" --steps 150 --per-type 16 --resume \
+  >"$work/resume.json"
+python3 - "$work/resume.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["start_step"] == 150, f"resume did not restore step: {r}"
+EOF
+echo "checkpoint resume restored step 150"
+
+echo "== surrogate gate: paired serve bench (on vs off) =="
+EVA_BENCH_OUT="$out" "$bench_bin" \
+  --benchmark_filter='BM_ServeThroughputSurrogate'
+python3 - "$out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+rows = {b["name"]: b for b in r["benchmarks"]}
+for width in (8, 16):
+    off = rows[f"BM_ServeThroughputSurrogate/{width}/0/"
+               "iterations:1/manual_time"]["real_time"]
+    on = rows[f"BM_ServeThroughputSurrogate/{width}/1/"
+              "iterations:1/manual_time"]["real_time"]
+    print(f"width {width}: off {off:.1f}ms on {on:.1f}ms "
+          f"({(1 - on / off) * 100:+.2f}%)")
+    assert on < off, (
+        f"surrogate-on slower than the paired off baseline at width {width}")
+EOF
+
+echo "surrogate gate passed"
